@@ -1,0 +1,66 @@
+"""A1/A2 — ablations of the MCH design choices (DESIGN.md §4).
+
+* critical-path ratio sweep (r): controls the level/area strategy split;
+* choice-cut merging on/off at several cut limits (Algorithm 3's value);
+* candidate representation sets (where does the heterogeneity pay?);
+* strategy library composition (multi-strategy vs single-objective).
+"""
+
+import pytest
+
+from conftest import SCALE, write_result
+from repro.experiments import (
+    format_table,
+    merge_ablation,
+    ratio_sweep,
+    representation_ablation,
+    strategy_ablation,
+)
+
+
+def _rows_to_table(rows, title):
+    headers = list(rows[0].keys())
+    return format_table(headers, [[r[h] for h in headers] for r in rows], title=title)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ratio_sweep(benchmark):
+    rows = benchmark.pedantic(
+        ratio_sweep, kwargs=dict(circuit="adder", scale=SCALE), rounds=1, iterations=1
+    )
+    write_result("ablation_ratio", _rows_to_table(rows, "A1 — critical-path ratio sweep (adder)"))
+    # wider critical region (smaller r) must not reduce the candidate count
+    choices = [r["choices"] for r in rows]
+    assert choices == sorted(choices, reverse=True) or len(set(choices)) > 1
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_choice_merge_ablation(benchmark):
+    rows = benchmark.pedantic(
+        merge_ablation, kwargs=dict(circuit="adder", scale=SCALE), rounds=1, iterations=1
+    )
+    write_result("ablation_merge", _rows_to_table(rows, "A2 — Algorithm 3 cut merging on/off"))
+    # with merging the mapper must never do worse than without on depth
+    for r in rows:
+        assert r["merged.depth"] <= r["unmerged.depth"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_representation_ablation(benchmark):
+    rows = benchmark.pedantic(
+        representation_ablation, kwargs=dict(circuit="adder", scale=SCALE),
+        rounds=1, iterations=1
+    )
+    write_result("ablation_reps", _rows_to_table(rows, "A1 — candidate representation sets (adder)"))
+    by_label = {r["reps"]: r for r in rows}
+    # XOR-capable candidates must beat AIG-only candidates on adder depth
+    assert by_label["XMG"]["depth"] <= by_label["AIG"]["depth"]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_strategy_ablation(benchmark):
+    rows = benchmark.pedantic(
+        strategy_ablation, kwargs=dict(circuit="adder", scale=SCALE), rounds=1, iterations=1
+    )
+    write_result("ablation_strategies", _rows_to_table(rows, "A1 — strategy library composition (adder)"))
+    assert len(rows) == 3

@@ -1,0 +1,54 @@
+"""E3 / Table I — ASIC technology mapping across the EPFL-analogue suite.
+
+Runs the six mapping configurations (baseline &nf analogue, DCH delay/area,
+MCH balanced / delay-oriented / area-oriented) on every suite circuit,
+then writes per-circuit rows plus geomean and improvement lines — the full
+Table-I layout.
+
+Shapes to hold (paper, Table I):
+* MCH delay-oriented achieves the best geomean delay of all configs
+  (paper: -20.35% vs baseline at +9.75% area);
+* MCH area-oriented achieves the best geomean area (paper: -21.02%);
+* DCH alone yields materially smaller gains than the matching MCH config.
+"""
+
+import pytest
+
+from conftest import SCALE, selected_circuits, write_result
+from repro.circuits import ALL_BENCHMARKS, build
+from repro.experiments import format_results, run_circuit, summarize
+
+CIRCUITS = selected_circuits(ALL_BENCHMARKS)
+_RESULTS = {}
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("name", CIRCUITS)
+def test_table1_circuit(benchmark, name):
+    ntk = build(name, SCALE)
+    rows = benchmark.pedantic(run_circuit, args=(ntk,), rounds=1, iterations=1)
+    _RESULTS[name] = rows
+    assert set(rows) == {"baseline", "dch", "dch_area", "mch_balanced",
+                         "mch_delay", "mch_area"}
+    for cfg, r in rows.items():
+        assert r.area > 0 and r.delay > 0, (name, cfg)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_summary(benchmark):
+    assert _RESULTS, "per-circuit benches must run first"
+    write_result("table1_asic", format_results(_RESULTS))
+    summary = benchmark.pedantic(summarize, args=(_RESULTS,), rounds=1, iterations=1)
+
+    base = summary["baseline"]
+    mch_delay = summary["mch_delay"]
+    mch_area = summary["mch_area"]
+    dch = summary["dch"]
+    dch_area = summary["dch_area"]
+
+    # MCH delay-oriented: clear delay win over the baseline and over DCH
+    assert mch_delay["delay"] < base["delay"]
+    assert mch_delay["delay"] <= dch["delay"] * 1.02
+    # MCH area-oriented: clear area win over the baseline and over DCH-area
+    assert mch_area["area"] < base["area"]
+    assert mch_area["area"] <= dch_area["area"] * 1.02

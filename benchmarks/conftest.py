@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` selects the circuit scale (tiny/small/medium,
+default small); ``REPRO_BENCH_CIRCUITS`` optionally restricts the Table-I /
+Fig.-6 suites to a comma-separated subset.  Every bench writes its formatted
+result table under ``benchmarks/results/``.
+"""
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def selected_circuits(default):
+    env = os.environ.get("REPRO_BENCH_CIRCUITS")
+    if env:
+        return [c.strip() for c in env.split(",") if c.strip()]
+    return list(default)
+
+
+def write_result(name: str, text: str) -> None:
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)

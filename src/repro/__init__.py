@@ -1,0 +1,67 @@
+"""repro — Mixed Structural Choices (MCH) for technology mapping.
+
+A from-scratch Python reproduction of "Mixed Structural Choice Operator:
+Enhancing Technology Mapping with Heterogeneous Representations" (DAC 2025):
+logic networks (AIG/XAG/MIG/XMG), structural-choice networks mixing
+heterogeneous representations, choice-aware ASIC / FPGA technology mappers,
+mapping-based logic optimization, plus the full substrate they need —
+truth-table engine, cut enumeration, NPN matching, SAT-based equivalence
+checking, optimization flows, benchmark generators and file I/O.
+
+Quickstart::
+
+    from repro import Aig, Xmg, build_mch, MchParams, lut_map, asic_map
+
+    aig = ...                                   # build or load a network
+    mch = build_mch(aig, MchParams(representations=(Xmg,)))
+    luts = lut_map(mch, k=6, objective="area")  # choice-aware FPGA mapping
+    netlist = asic_map(mch, objective="delay")  # choice-aware ASIC mapping
+"""
+
+from .networks import (
+    Aig,
+    CellNetlist,
+    GateType,
+    LogicNetwork,
+    LutNetwork,
+    MixedNetwork,
+    Mig,
+    Xag,
+    Xmg,
+    convert,
+)
+from .truth import TruthTable
+from .core import ChoiceNetwork, MchParams, build_dch, build_mch
+from .mapping import asap7_library, asic_map, graph_map, graph_map_iterate, lut_map
+from .opt import balance, compress2rs, sweep
+from .sat import cec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aig",
+    "Xag",
+    "Mig",
+    "Xmg",
+    "MixedNetwork",
+    "LogicNetwork",
+    "LutNetwork",
+    "CellNetlist",
+    "GateType",
+    "convert",
+    "TruthTable",
+    "ChoiceNetwork",
+    "MchParams",
+    "build_mch",
+    "build_dch",
+    "lut_map",
+    "asic_map",
+    "graph_map",
+    "graph_map_iterate",
+    "asap7_library",
+    "balance",
+    "compress2rs",
+    "sweep",
+    "cec",
+    "__version__",
+]

@@ -1,0 +1,89 @@
+"""Network and netlist statistics (used by the CLI and notebooks).
+
+Pure read-only analyses: gate-type histograms, level profiles, fanout
+distributions, cone sizes — the numbers one wants when comparing what MCH
+did to a network against the original structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .networks.base import GateType, LogicNetwork
+from .networks.lut_network import LutNetwork
+from .networks.netlist import CellNetlist
+
+__all__ = ["network_stats", "lut_stats", "netlist_stats", "format_stats"]
+
+
+def network_stats(ntk: LogicNetwork) -> Dict[str, object]:
+    """Structural statistics of a logic network."""
+    gate_hist: Dict[str, int] = {}
+    for g in ntk.gates():
+        name = ntk.node_type(g).name
+        gate_hist[name] = gate_hist.get(name, 0) + 1
+    levels = ntk.levels()
+    fanout = ntk.fanout_counts()
+    gates = list(ntk.gates())
+    level_hist: Dict[int, int] = {}
+    for g in gates:
+        level_hist[levels[g]] = level_hist.get(levels[g], 0) + 1
+    dangling = sum(1 for g in gates if fanout[g] == 0)
+    return {
+        "pis": ntk.num_pis(),
+        "pos": ntk.num_pos(),
+        "gates": ntk.num_gates(),
+        "depth": ntk.depth(),
+        "gate_histogram": dict(sorted(gate_hist.items())),
+        "avg_fanout": (sum(fanout[g] for g in gates) / len(gates)) if gates else 0.0,
+        "max_fanout": max((fanout[g] for g in gates), default=0),
+        "dangling_gates": dangling,
+        "levels_used": len(level_hist),
+    }
+
+
+def lut_stats(lut: LutNetwork) -> Dict[str, object]:
+    """Statistics of a mapped LUT network."""
+    size_hist: Dict[int, int] = {}
+    for n in range(len(lut._is_lut)):
+        if lut.is_lut(n):
+            k = len(lut.fanins(n))
+            size_hist[k] = size_hist.get(k, 0) + 1
+    return {
+        "pis": lut.num_pis(),
+        "pos": lut.num_pos(),
+        "luts": lut.num_luts(),
+        "depth": lut.depth(),
+        "lut_size_histogram": dict(sorted(size_hist.items())),
+        "avg_lut_inputs": (
+            sum(k * v for k, v in size_hist.items()) / max(lut.num_luts(), 1)
+        ),
+    }
+
+
+def netlist_stats(nl: CellNetlist) -> Dict[str, object]:
+    """Statistics of a mapped standard-cell netlist."""
+    hist = nl.cell_histogram()
+    inverters = sum(v for k, v in hist.items() if k.upper().startswith(("INV", "BUF")))
+    return {
+        "cells": nl.num_cells(),
+        "area": nl.area(),
+        "delay": nl.delay(),
+        "cell_histogram": dict(sorted(hist.items())),
+        "inverter_buffer_count": inverters,
+        "switching_power": nl.switching_power(),
+    }
+
+
+def format_stats(stats: Dict[str, object], title: str = "") -> str:
+    """Render a statistics dict as aligned text."""
+    lines = [title] if title else []
+    for key, value in stats.items():
+        if isinstance(value, dict):
+            inner = ", ".join(f"{k}:{v}" for k, v in value.items())
+            lines.append(f"  {key:24s} {{{inner}}}")
+        elif isinstance(value, float):
+            lines.append(f"  {key:24s} {value:.3f}")
+        else:
+            lines.append(f"  {key:24s} {value}")
+    return "\n".join(lines)

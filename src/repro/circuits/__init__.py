@@ -1,0 +1,15 @@
+"""Benchmark circuit generators (EPFL combinational suite analogues)."""
+
+from .epfl import ALL_BENCHMARKS, ARITHMETIC, CONTROL, build, suite
+from . import arithmetic, control, wordlevel
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "ARITHMETIC",
+    "CONTROL",
+    "build",
+    "suite",
+    "arithmetic",
+    "control",
+    "wordlevel",
+]

@@ -1,0 +1,211 @@
+"""Arithmetic benchmark generators (EPFL arithmetic-suite analogues).
+
+Each function builds an AIG of the same circuit *family* as the EPFL
+benchmark of the same name, at a configurable (reduced) bit-width so the
+pure-Python flow completes quickly.  See DESIGN.md §2 for the substitution
+rationale: the structural-bias phenomena the paper studies come from the
+circuit families (carry chains, multiplier arrays, shifters), not from the
+specific 64/128-bit instances.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..networks.aig import Aig
+from ..networks.base import lit_not
+from .wordlevel import (
+    add_words,
+    constant_word,
+    full_adder,
+    less_than,
+    multiply_words,
+    mux_word,
+    priority_encoder,
+    shift_left,
+    shift_right,
+    square_word,
+    sub_words,
+)
+
+__all__ = [
+    "adder",
+    "barrel_shifter",
+    "divider",
+    "hypotenuse",
+    "log2_circuit",
+    "max_circuit",
+    "multiplier",
+    "sine",
+    "square_root",
+    "square",
+]
+
+
+def _pis(ntk: Aig, prefix: str, width: int) -> List[int]:
+    return [ntk.create_pi(f"{prefix}{i}") for i in range(width)]
+
+
+def adder(width: int = 24) -> Aig:
+    """Ripple-carry adder (EPFL ``adder``, 128-bit in the original)."""
+    ntk = Aig()
+    a = _pis(ntk, "a", width)
+    b = _pis(ntk, "b", width)
+    out = add_words(ntk, a, b)
+    for i, s in enumerate(out):
+        ntk.create_po(s, f"s{i}")
+    return ntk
+
+
+def barrel_shifter(width: int = 32) -> Aig:
+    """Logarithmic barrel shifter (EPFL ``bar``)."""
+    ntk = Aig()
+    data = _pis(ntk, "d", width)
+    amount = _pis(ntk, "s", (width - 1).bit_length())
+    out = shift_right(ntk, data, amount)
+    for i, o in enumerate(out):
+        ntk.create_po(o, f"q{i}")
+    return ntk
+
+
+def divider(width: int = 8) -> Aig:
+    """Restoring array divider (EPFL ``div``): quotient and remainder."""
+    ntk = Aig()
+    num = _pis(ntk, "n", width)
+    den = _pis(ntk, "d", width)
+    rem: List[int] = [ntk.const0] * width
+    quot: List[int] = [ntk.const0] * width
+    for step in range(width - 1, -1, -1):
+        # shift remainder left, bring down next numerator bit
+        rem = [num[step]] + rem[:-1]
+        diff = sub_words(ntk, rem, den)
+        fits = diff[-1]  # 1 when rem >= den
+        rem = mux_word(ntk, fits, diff[:width], rem)
+        quot[step] = fits
+    for i, q in enumerate(quot):
+        ntk.create_po(q, f"q{i}")
+    for i, r in enumerate(rem):
+        ntk.create_po(r, f"r{i}")
+    return ntk
+
+
+def _isqrt(ntk: Aig, value: List[int]) -> List[int]:
+    """Non-restoring integer square root of a word (helper)."""
+    w_in = len(value)
+    w_out = (w_in + 1) // 2
+    root: List[int] = []
+    rem: List[int] = [ntk.const0] * (w_in + 2)
+    val = list(value)
+    for step in range(w_out - 1, -1, -1):
+        # bring down two bits
+        hi = val[2 * step + 1] if 2 * step + 1 < w_in else ntk.const0
+        lo = val[2 * step]
+        rem = [lo, hi] + rem[:-2]
+        # trial subtrahend: root bits so far, then 0, 1
+        trial = [ntk.const1, ntk.const0] + [r for r in reversed(root)]
+        trial += [ntk.const0] * (len(rem) - len(trial))
+        diff = sub_words(ntk, rem, trial)
+        fits = diff[-1]
+        rem = mux_word(ntk, fits, diff[: len(rem)], rem)
+        root.append(fits)  # MSB-first accumulation
+    root.reverse()
+    return root
+
+
+def square_root(width: int = 16) -> Aig:
+    """Non-restoring square root (EPFL ``sqrt``)."""
+    ntk = Aig()
+    x = _pis(ntk, "x", width)
+    r = _isqrt(ntk, x)
+    for i, b in enumerate(r):
+        ntk.create_po(b, f"r{i}")
+    return ntk
+
+
+def hypotenuse(width: int = 8) -> Aig:
+    """sqrt(a² + b²) datapath (EPFL ``hyp``)."""
+    ntk = Aig()
+    a = _pis(ntk, "a", width)
+    b = _pis(ntk, "b", width)
+    aa = square_word(ntk, a)
+    bb = square_word(ntk, b)
+    s = add_words(ntk, aa, bb)
+    r = _isqrt(ntk, s)
+    for i, bit in enumerate(r):
+        ntk.create_po(bit, f"h{i}")
+    return ntk
+
+
+def log2_circuit(width: int = 16, frac_bits: int = 4) -> Aig:
+    """Fixed-point log2: integer part via priority encoding, fraction via
+    normalization shift (EPFL ``log2`` family)."""
+    ntk = Aig()
+    x = _pis(ntk, "x", width)
+    index, valid = priority_encoder(ntk, x)
+    # normalize x so the leading one moves to the top: shift left by
+    # (width-1 - index)
+    inv_index = sub_words(ntk, constant_word(ntk, width - 1, len(index)), index)[: len(index)]
+    normalized = shift_left(ntk, x, inv_index)
+    for i, b in enumerate(index):
+        ntk.create_po(b, f"int{i}")
+    # top fraction bits just below the leading one
+    for i in range(frac_bits):
+        pos = width - 2 - i
+        bit = normalized[pos] if pos >= 0 else ntk.const0
+        ntk.create_po(bit, f"frac{i}")
+    ntk.create_po(valid, "valid")
+    return ntk
+
+
+def max_circuit(width: int = 16, ways: int = 4) -> Aig:
+    """Maximum of ``ways`` unsigned words via a comparator tree (EPFL ``max``)."""
+    ntk = Aig()
+    words = [_pis(ntk, f"w{j}_", width) for j in range(ways)]
+    current = words[0]
+    for w in words[1:]:
+        is_less = less_than(ntk, current, w)
+        current = mux_word(ntk, is_less, w, current)
+    for i, b in enumerate(current):
+        ntk.create_po(b, f"m{i}")
+    return ntk
+
+
+def multiplier(width: int = 8) -> Aig:
+    """Array multiplier (EPFL ``multiplier``)."""
+    ntk = Aig()
+    a = _pis(ntk, "a", width)
+    b = _pis(ntk, "b", width)
+    p = multiply_words(ntk, a, b)
+    for i, bit in enumerate(p):
+        ntk.create_po(bit, f"p{i}")
+    return ntk
+
+
+def sine(width: int = 8) -> Aig:
+    """Polynomial sine approximation (EPFL ``sin`` family).
+
+    Computes ``x - x³/6`` in fixed point: one squarer, one multiplier and a
+    constant-multiply/subtract — the same mult-add cone structure as the
+    original CORDIC-free sine netlist.
+    """
+    ntk = Aig()
+    x = _pis(ntk, "x", width)
+    xx = square_word(ntk, x)[:width]          # x² (truncated)
+    xxx = multiply_words(ntk, xx, x)[:width]  # x³ (truncated)
+    # divide by 6 ~ multiply by 43/256 (8-bit reciprocal) then truncate
+    recip = constant_word(ntk, 43, width)
+    scaled = multiply_words(ntk, xxx, recip)[width:2 * width]
+    diff = sub_words(ntk, x, scaled)
+    for i in range(width):
+        ntk.create_po(diff[i], f"s{i}")
+    return ntk
+
+
+def square(width: int = 10) -> Aig:
+    """Squarer (EPFL ``square``)."""
+    ntk = Aig()
+    a = _pis(ntk, "a", width)
+    p = square_word(ntk, a)
+    for i, bit in enumerate(p):
+        ntk.create_po(bit, f"p{i}")
+    return ntk

@@ -1,0 +1,195 @@
+"""Random-control benchmark generators (EPFL control-suite analogues).
+
+The EPFL "random/control" circuits (arbiter, cavlc, ctrl, i2c, mem_ctrl,
+router, ...) are control-dominated netlists.  Where the function is public
+(decoder, priority encoder, int-to-float, voter, round-robin arbiter) we
+implement it exactly; for the opaque controller blobs (cavlc, ctrl, i2c,
+mem_ctrl, router) we generate *seeded multi-output factored SOP control
+logic* of comparable interface size — the same unate, SOP-heavy structure
+class, which is what matters for the mapping experiments (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..networks.aig import Aig
+from ..networks.base import lit_not
+from ..synthesis.factoring import build_from_cubes
+from .wordlevel import (
+    add_words,
+    constant_word,
+    equal_words,
+    mux_word,
+    popcount,
+    priority_encoder,
+    shift_right,
+    sub_words,
+)
+
+__all__ = [
+    "round_robin_arbiter",
+    "decoder",
+    "int2float",
+    "priority_circuit",
+    "voter",
+    "random_control",
+    "cavlc",
+    "ctrl",
+    "i2c",
+    "mem_ctrl",
+    "router",
+]
+
+
+def round_robin_arbiter(lines: int = 16) -> Aig:
+    """Round-robin arbiter (EPFL ``arbiter`` family).
+
+    Grants the highest-priority active request, where priority rotates
+    according to a pointer input: requests at or above the pointer win over
+    requests below it.
+    """
+    ntk = Aig()
+    req = [ntk.create_pi(f"req{i}") for i in range(lines)]
+    ptr = [ntk.create_pi(f"ptr{i}") for i in range((lines - 1).bit_length())]
+
+    # mask[i] = (i >= pointer)
+    masked: List[int] = []
+    for i in range(lines):
+        c = constant_word(ntk, i, len(ptr))
+        ge = sub_words(ntk, c, ptr)[-1]  # carry of (i - ptr) is set iff i >= ptr
+        masked.append(ntk.create_and(req[i], ge))
+
+    # grant: lowest-index masked request if any, else lowest-index request
+    def lowest_grant(lines_in: List[int]) -> List[int]:
+        grants = []
+        none_before = ntk.const1
+        for r in lines_in:
+            grants.append(ntk.create_and(r, none_before))
+            none_before = ntk.create_and(none_before, lit_not(r))
+        return grants
+
+    g_hi = lowest_grant(masked)
+    g_lo = lowest_grant(req)
+    any_hi = ntk.create_nary_or(masked)
+    for i in range(lines):
+        ntk.create_po(ntk.create_mux(any_hi, g_hi[i], g_lo[i]), f"gnt{i}")
+    return ntk
+
+
+def decoder(bits: int = 8) -> Aig:
+    """Full binary decoder, ``bits`` -> ``2**bits`` one-hot (EPFL ``dec``)."""
+    ntk = Aig()
+    sel = [ntk.create_pi(f"s{i}") for i in range(bits)]
+    for code in range(1 << bits):
+        lits = [sel[i] if (code >> i) & 1 else lit_not(sel[i]) for i in range(bits)]
+        ntk.create_po(ntk.create_nary_and(lits), f"d{code}")
+    return ntk
+
+
+def int2float(width: int = 11, exp_bits: int = 4, man_bits: int = 5) -> Aig:
+    """Unsigned integer to tiny floating point (EPFL ``int2float`` family)."""
+    ntk = Aig()
+    x = [ntk.create_pi(f"x{i}") for i in range(width)]
+    index, valid = priority_encoder(ntk, x)
+    # exponent = index (zero-extended), zero when input is zero
+    for i in range(exp_bits):
+        bit = index[i] if i < len(index) else ntk.const0
+        ntk.create_po(ntk.create_and(bit, valid), f"e{i}")
+    # mantissa = bits right below the leading one: shift right by (index - man_bits)
+    # equivalently normalize left then take the top bits; use right shift of
+    # x by max(index - man_bits, 0)
+    shift_amt = sub_words(ntk, index, constant_word(ntk, man_bits, len(index)))
+    nonneg = shift_amt[-1]
+    amt = mux_word(ntk, nonneg, shift_amt[: len(index)], constant_word(ntk, 0, len(index)))
+    shifted = shift_right(ntk, x, amt)
+    for i in range(man_bits):
+        ntk.create_po(ntk.create_and(shifted[i], valid), f"m{i}")
+    ntk.create_po(valid, "valid")
+    return ntk
+
+
+def priority_circuit(lines: int = 64) -> Aig:
+    """Priority encoder with valid flag (EPFL ``priority``)."""
+    ntk = Aig()
+    req = [ntk.create_pi(f"r{i}") for i in range(lines)]
+    index, valid = priority_encoder(ntk, req)
+    for i, b in enumerate(index):
+        ntk.create_po(b, f"i{i}")
+    ntk.create_po(valid, "v")
+    return ntk
+
+
+def voter(inputs: int = 49) -> Aig:
+    """Majority voter over ``inputs`` lines (EPFL ``voter``, 1001 lines)."""
+    if inputs % 2 == 0:
+        raise ValueError("voter needs an odd number of inputs")
+    ntk = Aig()
+    xs = [ntk.create_pi(f"x{i}") for i in range(inputs)]
+    count = popcount(ntk, xs)
+    threshold = constant_word(ntk, inputs // 2 + 1, len(count))
+    # majority when count >= threshold
+    ge = sub_words(ntk, count, threshold)[-1]
+    ntk.create_po(ge, "maj")
+    return ntk
+
+
+def random_control(name: str, num_inputs: int, num_outputs: int,
+                   cubes_per_output: int, max_cube_lits: int, seed: int) -> Aig:
+    """Seeded multi-output factored-SOP control logic.
+
+    Stands in for the opaque EPFL controller netlists: each output is a
+    factored cover of random cubes over a random input subset, which yields
+    the unate, AND-OR-heavy structure typical of decoded control logic.
+    """
+    rng = random.Random(seed)
+    ntk = Aig()
+    pis = [ntk.create_pi(f"x{i}") for i in range(num_inputs)]
+    for o in range(num_outputs):
+        cubes = []
+        for _ in range(cubes_per_output):
+            n_lits = rng.randint(2, max_cube_lits)
+            vars_ = rng.sample(range(num_inputs), n_lits)
+            pos = neg = 0
+            for v in vars_:
+                if rng.random() < 0.5:
+                    pos |= 1 << v
+                else:
+                    neg |= 1 << v
+            cubes.append((pos, neg))
+        out = build_from_cubes(ntk, cubes, pis)
+        if rng.random() < 0.3:
+            out = lit_not(out)
+        ntk.create_po(out, f"y{o}")
+    return ntk
+
+
+def cavlc(seed: int = 101) -> Aig:
+    """CAVLC coefficient-token control logic analogue."""
+    return random_control("cavlc", num_inputs=10, num_outputs=11,
+                          cubes_per_output=18, max_cube_lits=7, seed=seed)
+
+
+def ctrl(seed: int = 102) -> Aig:
+    """Small controller analogue."""
+    return random_control("ctrl", num_inputs=7, num_outputs=25,
+                          cubes_per_output=6, max_cube_lits=5, seed=seed)
+
+
+def i2c(seed: int = 103) -> Aig:
+    """I²C controller analogue."""
+    return random_control("i2c", num_inputs=18, num_outputs=15,
+                          cubes_per_output=14, max_cube_lits=8, seed=seed)
+
+
+def mem_ctrl(seed: int = 104) -> Aig:
+    """Memory-controller analogue (the largest control case)."""
+    return random_control("mem_ctrl", num_inputs=26, num_outputs=22,
+                          cubes_per_output=22, max_cube_lits=9, seed=seed)
+
+
+def router(seed: int = 105) -> Aig:
+    """Packet-router control analogue."""
+    return random_control("router", num_inputs=14, num_outputs=10,
+                          cubes_per_output=8, max_cube_lits=6, seed=seed)

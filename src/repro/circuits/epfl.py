@@ -1,0 +1,91 @@
+"""Registry of the 20 EPFL-analogue benchmark circuits.
+
+``build(name, scale)`` constructs any suite member at one of three scales:
+
+* ``tiny``  — unit-test sizes (seconds for the whole suite end to end);
+* ``small`` — the default experiment scale used by the benchmark harness;
+* ``medium`` — closer to the original EPFL widths, slower.
+
+The names mirror the EPFL combinational benchmark suite: ten arithmetic
+circuits and ten random/control circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..networks.aig import Aig
+from . import arithmetic as arith
+from . import control as ctl
+
+__all__ = ["ARITHMETIC", "CONTROL", "ALL_BENCHMARKS", "build", "suite"]
+
+# name -> scale -> kwargs
+_SIZES: Dict[str, Dict[str, dict]] = {
+    "adder":      {"tiny": {"width": 6},  "small": {"width": 24}, "medium": {"width": 64}},
+    "bar":        {"tiny": {"width": 8},  "small": {"width": 32}, "medium": {"width": 64}},
+    "div":        {"tiny": {"width": 4},  "small": {"width": 8},  "medium": {"width": 12}},
+    "hyp":        {"tiny": {"width": 4},  "small": {"width": 8},  "medium": {"width": 12}},
+    "log2":       {"tiny": {"width": 6},  "small": {"width": 16}, "medium": {"width": 32}},
+    "max":        {"tiny": {"width": 4},  "small": {"width": 16}, "medium": {"width": 32}},
+    "multiplier": {"tiny": {"width": 4},  "small": {"width": 8},  "medium": {"width": 12}},
+    "sin":        {"tiny": {"width": 4},  "small": {"width": 8},  "medium": {"width": 12}},
+    "sqrt":       {"tiny": {"width": 8},  "small": {"width": 16}, "medium": {"width": 24}},
+    "square":     {"tiny": {"width": 5},  "small": {"width": 10}, "medium": {"width": 16}},
+    "arbiter":    {"tiny": {"lines": 8},  "small": {"lines": 16}, "medium": {"lines": 32}},
+    "cavlc":      {"tiny": {}, "small": {}, "medium": {}},
+    "ctrl":       {"tiny": {}, "small": {}, "medium": {}},
+    "dec":        {"tiny": {"bits": 5},   "small": {"bits": 7},  "medium": {"bits": 8}},
+    "i2c":        {"tiny": {}, "small": {}, "medium": {}},
+    "int2float":  {"tiny": {"width": 8, "exp_bits": 3, "man_bits": 4}, "small": {}, "medium": {}},
+    "mem_ctrl":   {"tiny": {}, "small": {}, "medium": {}},
+    "priority":   {"tiny": {"lines": 16}, "small": {"lines": 64}, "medium": {"lines": 128}},
+    "router":     {"tiny": {}, "small": {}, "medium": {}},
+    "voter":      {"tiny": {"inputs": 15}, "small": {"inputs": 49}, "medium": {"inputs": 101}},
+}
+
+_BUILDERS: Dict[str, Callable[..., Aig]] = {
+    "adder": arith.adder,
+    "bar": arith.barrel_shifter,
+    "div": arith.divider,
+    "hyp": arith.hypotenuse,
+    "log2": arith.log2_circuit,
+    "max": arith.max_circuit,
+    "multiplier": arith.multiplier,
+    "sin": arith.sine,
+    "sqrt": arith.square_root,
+    "square": arith.square,
+    "arbiter": ctl.round_robin_arbiter,
+    "cavlc": ctl.cavlc,
+    "ctrl": ctl.ctrl,
+    "dec": ctl.decoder,
+    "i2c": ctl.i2c,
+    "int2float": ctl.int2float,
+    "mem_ctrl": ctl.mem_ctrl,
+    "priority": ctl.priority_circuit,
+    "router": ctl.router,
+    "voter": ctl.voter,
+}
+
+ARITHMETIC: List[str] = [
+    "adder", "bar", "div", "hyp", "log2", "max", "multiplier", "sin", "sqrt", "square",
+]
+CONTROL: List[str] = [
+    "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl",
+    "priority", "router", "voter",
+]
+ALL_BENCHMARKS: List[str] = ARITHMETIC + CONTROL
+
+
+def build(name: str, scale: str = "small") -> Aig:
+    """Construct one benchmark circuit by name."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown benchmark {name!r}; know {sorted(_BUILDERS)}")
+    if scale not in ("tiny", "small", "medium"):
+        raise ValueError("scale must be tiny/small/medium")
+    return _BUILDERS[name](**_SIZES[name][scale])
+
+
+def suite(scale: str = "small", names: List[str] = None) -> Dict[str, Aig]:
+    """Build (a subset of) the whole suite; returns name -> AIG."""
+    return {name: build(name, scale) for name in (names or ALL_BENCHMARKS)}

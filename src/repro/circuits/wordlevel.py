@@ -1,0 +1,174 @@
+"""Word-level datapath construction helpers.
+
+Gate-level builders for the arithmetic blocks the EPFL-style benchmark
+generators are composed of: ripple/carry adders, subtractors, array
+multipliers, comparators, multiplexed shifters, priority encoders.  All
+functions take literal vectors (LSB first) and build into any
+:class:`~repro.networks.base.LogicNetwork`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..networks.base import LogicNetwork, lit_not
+
+__all__ = [
+    "full_adder",
+    "add_words",
+    "sub_words",
+    "negate_word",
+    "multiply_words",
+    "square_word",
+    "less_than",
+    "equal_words",
+    "mux_word",
+    "shift_left",
+    "shift_right",
+    "priority_encoder",
+    "popcount",
+    "constant_word",
+]
+
+
+def constant_word(ntk: LogicNetwork, value: int, width: int) -> List[int]:
+    return [ntk.const1 if (value >> i) & 1 else ntk.const0 for i in range(width)]
+
+
+def full_adder(ntk: LogicNetwork, a: int, b: int, cin: int) -> Tuple[int, int]:
+    """Returns (sum, carry-out)."""
+    return ntk.create_xor3(a, b, cin), ntk.create_maj(a, b, cin)
+
+
+def add_words(ntk: LogicNetwork, a: Sequence[int], b: Sequence[int],
+              cin: int = 0) -> List[int]:
+    """Ripple-carry addition; result has ``len(a) + 1`` bits (carry last)."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    out = []
+    carry = cin
+    for x, y in zip(a, b):
+        s, carry = full_adder(ntk, x, y, carry)
+        out.append(s)
+    out.append(carry)
+    return out
+
+
+def negate_word(ntk: LogicNetwork, a: Sequence[int]) -> List[int]:
+    """Two's-complement negation (same width, overflow wraps)."""
+    inv = [lit_not(x) for x in a]
+    one = constant_word(ntk, 1, len(a))
+    return add_words(ntk, inv, one)[: len(a)]
+
+
+def sub_words(ntk: LogicNetwork, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """a - b; returns ``len(a)`` difference bits plus borrow-free flag last.
+
+    The final element is the carry-out of ``a + ~b + 1`` (1 when ``a >= b``).
+    """
+    inv_b = [lit_not(x) for x in b]
+    res = add_words(ntk, list(a), inv_b, cin=ntk.const1)
+    return res
+
+
+def multiply_words(ntk: LogicNetwork, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Array multiplier; returns ``len(a) + len(b)`` product bits."""
+    wa, wb = len(a), len(b)
+    acc: List[int] = [ntk.const0] * (wa + wb)
+    for j, bj in enumerate(b):
+        partial = [ntk.create_and(ai, bj) for ai in a]
+        carry = ntk.const0
+        for i, p in enumerate(partial):
+            s, carry = full_adder(ntk, acc[i + j], p, carry)
+            acc[i + j] = s
+        # propagate the final carry
+        pos = j + wa
+        while carry != ntk.const0 and pos < wa + wb:
+            s, carry = full_adder(ntk, acc[pos], carry, ntk.const0)
+            acc[pos] = s
+            pos += 1
+    return acc
+
+
+def square_word(ntk: LogicNetwork, a: Sequence[int]) -> List[int]:
+    """Squarer (a * a) — ``2 * len(a)`` output bits."""
+    return multiply_words(ntk, a, a)
+
+
+def less_than(ntk: LogicNetwork, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned ``a < b``."""
+    res = sub_words(ntk, list(a), list(b))
+    return lit_not(res[-1])  # borrow set when a < b
+
+
+def equal_words(ntk: LogicNetwork, a: Sequence[int], b: Sequence[int]) -> int:
+    bits = [ntk.create_xnor(x, y) for x, y in zip(a, b)]
+    return ntk.create_nary_and(bits)
+
+
+def mux_word(ntk: LogicNetwork, sel: int, hi: Sequence[int], lo: Sequence[int]) -> List[int]:
+    """Per-bit 2:1 mux: ``sel ? hi : lo``."""
+    return [ntk.create_mux(sel, h, l) for h, l in zip(hi, lo)]
+
+
+def shift_left(ntk: LogicNetwork, data: Sequence[int], amount: Sequence[int]) -> List[int]:
+    """Logical barrel shift left by the binary ``amount``."""
+    word = list(data)
+    for stage, s in enumerate(amount):
+        shift = 1 << stage
+        shifted = [ntk.const0] * min(shift, len(word)) + list(word[: len(word) - shift])
+        shifted = shifted[: len(word)]
+        word = mux_word(ntk, s, shifted, word)
+    return word
+
+
+def shift_right(ntk: LogicNetwork, data: Sequence[int], amount: Sequence[int]) -> List[int]:
+    """Logical barrel shift right by the binary ``amount``."""
+    word = list(data)
+    for stage, s in enumerate(amount):
+        shift = 1 << stage
+        shifted = list(word[shift:]) + [ntk.const0] * min(shift, len(word))
+        shifted = shifted[: len(word)]
+        word = mux_word(ntk, s, shifted, word)
+    return word
+
+
+def priority_encoder(ntk: LogicNetwork, requests: Sequence[int]) -> Tuple[List[int], int]:
+    """Highest-index-wins priority encoder.
+
+    Returns (index bits, valid).  ``index`` has ``ceil(log2(len(requests)))``
+    bits and encodes the highest asserted request line.
+    """
+    n = len(requests)
+    width = max(1, (n - 1).bit_length())
+    index = constant_word(ntk, 0, width)
+    valid = ntk.const0
+    for i, r in enumerate(requests):  # later (higher) requests override
+        index = mux_word(ntk, r, constant_word(ntk, i, width), index)
+        valid = ntk.create_or(valid, r)
+    return index, valid
+
+
+def popcount(ntk: LogicNetwork, bits: Sequence[int]) -> List[int]:
+    """Population count via a full-adder compression tree."""
+    columns: List[List[int]] = [list(bits)]
+    while any(len(col) > 1 for col in columns):
+        new_cols: List[List[int]] = [[] for _ in range(len(columns) + 1)]
+        for w, col in enumerate(columns):
+            col = list(col)
+            while len(col) >= 3:
+                a, b, c = col.pop(), col.pop(), col.pop()
+                s, cy = full_adder(ntk, a, b, c)
+                new_cols[w].append(s)
+                new_cols[w + 1].append(cy)
+            while len(col) >= 2:
+                a, b = col.pop(), col.pop()
+                s = ntk.create_xor(a, b)
+                cy = ntk.create_and(a, b)
+                new_cols[w].append(s)
+                new_cols[w + 1].append(cy)
+            new_cols[w].extend(col)
+        while new_cols and not new_cols[-1]:
+            new_cols.pop()
+        columns = new_cols
+    return [col[0] if col else ntk.const0 for col in columns]

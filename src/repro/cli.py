@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info <circuit>``                 — print benchmark statistics;
+* ``optimize <circuit>``             — run the compress2rs flow, report gains;
+* ``map-luts <circuit>``             — (MCH) 6-LUT mapping, optional BLIF out;
+* ``map-asic <circuit>``             — (MCH) ASIC mapping, optional Verilog out;
+* ``table1 | table2 | fig1 | fig2 | fig6`` — regenerate a paper artifact;
+* ``suite``                          — list the available benchmarks.
+
+Circuits are the EPFL-analogue generator names (see ``suite``), or a path to
+an ASCII AIGER file (``.aag``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .circuits import ALL_BENCHMARKS, build
+from .core import MchParams, build_mch
+from .mapping import asic_map, lut_map
+from .networks import Aig, Mig, Xag, Xmg
+from .opt import compress2rs
+from .sat import cec
+
+_REPS = {"aig": Aig, "xag": Xag, "mig": Mig, "xmg": Xmg}
+
+
+def _load(circuit: str, scale: str) -> Aig:
+    path = Path(circuit)
+    if path.suffix == ".aag" and path.exists():
+        from .io import read_aag
+
+        return read_aag(path.read_text())
+    if circuit in ALL_BENCHMARKS:
+        return build(circuit, scale)
+    raise SystemExit(f"unknown circuit {circuit!r} (not a benchmark name or .aag file)")
+
+
+def _mch_of(ntk, args):
+    reps = tuple(_REPS[r] for r in args.reps.split(","))
+    return build_mch(ntk, MchParams(representations=reps, ratio=args.ratio))
+
+
+def cmd_info(args) -> int:
+    from .analysis import format_stats, network_stats
+
+    ntk = _load(args.circuit, args.scale)
+    print(f"{args.circuit}: {ntk.num_pis()} PIs, {ntk.num_pos()} POs, "
+          f"{ntk.num_gates()} gates, depth {ntk.depth()}")
+    print(format_stats(network_stats(ntk)))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    for name in ALL_BENCHMARKS:
+        ntk = build(name, args.scale)
+        print(f"{name:11s} pis={ntk.num_pis():4d} pos={ntk.num_pos():4d} "
+              f"gates={ntk.num_gates():5d} depth={ntk.depth():4d}")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    ntk = _load(args.circuit, args.scale)
+    opt = compress2rs(ntk, rounds=args.rounds)
+    print(f"before: {ntk.num_gates()} gates, depth {ntk.depth()}")
+    print(f"after:  {opt.num_gates()} gates, depth {opt.depth()}")
+    if args.verify:
+        print("cec:", "ok" if cec(ntk, opt) else "FAILED")
+    if args.output:
+        from .io import write_aag
+
+        Path(args.output).write_text(write_aag(opt))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_map_luts(args) -> int:
+    ntk = _load(args.circuit, args.scale)
+    subject = _mch_of(ntk, args) if args.mch else ntk
+    if args.mch:
+        print(f"choice network: {subject}")
+    lut = lut_map(subject, k=args.k, objective=args.objective)
+    print(f"{lut.num_luts()} LUTs, depth {lut.depth()}")
+    if args.verify:
+        print("cec:", "ok" if cec(ntk, lut.to_logic_network(Aig)) else "FAILED")
+    if args.output:
+        from .io import write_blif
+
+        Path(args.output).write_text(write_blif(lut))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_map_asic(args) -> int:
+    ntk = _load(args.circuit, args.scale)
+    subject = _mch_of(ntk, args) if args.mch else ntk
+    if args.mch:
+        print(f"choice network: {subject}")
+    nl = asic_map(subject, objective=args.objective)
+    print(f"{nl.num_cells()} cells, area {nl.area():.2f} µm², delay {nl.delay():.2f} ps")
+    if args.verify:
+        print("cec:", "ok" if cec(ntk, nl.to_logic_network(Aig)) else "FAILED")
+    if args.output:
+        from .io import write_verilog_netlist
+
+        Path(args.output).write_text(write_verilog_netlist(nl))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from . import experiments as exp
+
+    if args.artifact == "fig1":
+        print(exp.format_fig1(exp.run_fig1(scale=args.scale)))
+    elif args.artifact == "fig2":
+        print(exp.format_fig2(exp.run_fig2()))
+    elif args.artifact == "table1":
+        names = args.circuits.split(",") if args.circuits else None
+        print(exp.format_results(exp.run_table1(names=names, scale=args.scale)))
+    elif args.artifact == "table2":
+        names = args.circuits.split(",") if args.circuits else None
+        print(exp.format_table2(exp.run_table2(names=names, scale=args.scale)))
+    elif args.artifact == "fig6":
+        names = args.circuits.split(",") if args.circuits else ["adder", "square", "voter"]
+        print(exp.format_fig6(exp.run_fig6(names=names, scale=args.scale)))
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Mixed Structural Choices technology mapping"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, mch_opts=True):
+        p.add_argument("circuit", help="benchmark name or .aag path")
+        p.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+        p.add_argument("--verify", action="store_true", help="CEC the result")
+        p.add_argument("-o", "--output", help="output file")
+        if mch_opts:
+            p.add_argument("--mch", action="store_true", help="use mixed structural choices")
+            p.add_argument("--reps", default="xmg", help="candidate reps, e.g. xmg,xag")
+            p.add_argument("--ratio", type=float, default=1.0, help="critical-path ratio r")
+
+    p = sub.add_parser("info", help="print circuit statistics")
+    p.add_argument("circuit")
+    p.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("suite", help="list available benchmarks")
+    p.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("optimize", help="run the compress2rs flow")
+    common(p, mch_opts=False)
+    p.add_argument("--rounds", type=int, default=4)
+    p.set_defaults(fn=cmd_optimize)
+
+    p = sub.add_parser("map-luts", help="K-LUT (FPGA) mapping")
+    common(p)
+    p.add_argument("-k", type=int, default=6)
+    p.add_argument("--objective", default="area", choices=["area", "delay"])
+    p.set_defaults(fn=cmd_map_luts)
+
+    p = sub.add_parser("map-asic", help="standard-cell (ASIC) mapping")
+    common(p)
+    p.add_argument("--objective", default="delay", choices=["area", "delay"])
+    p.set_defaults(fn=cmd_map_asic)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("artifact", choices=["fig1", "fig2", "table1", "table2", "fig6"])
+    p.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    p.add_argument("--circuits", help="comma-separated circuit subset")
+    p.set_defaults(fn=cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

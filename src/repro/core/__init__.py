@@ -1,0 +1,15 @@
+"""MCH core: choice networks, critical paths, Algorithms 1-3 glue."""
+
+from .choice import ChoiceNetwork
+from .critical import critical_nodes, node_heights
+from .mch import MchParams, build_mch
+from .dch import build_dch
+
+__all__ = [
+    "ChoiceNetwork",
+    "critical_nodes",
+    "node_heights",
+    "MchParams",
+    "build_mch",
+    "build_dch",
+]

@@ -1,0 +1,55 @@
+"""DCH — the traditional single-representation structural-choice baseline.
+
+Reimplements the essence of ABC's ``dch`` (Chatterjee et al., TCAD'06,
+"lossless synthesis"): run a technology-independent optimization script a
+couple of times, superimpose the snapshots over shared PIs into one strashed
+network, detect functionally equivalent nodes across snapshots (simulation +
+SAT), and expose them as structural choices for the mapper.
+
+This is the baseline MCH is compared against in Table I: its candidates all
+live in the *same* representation and come from whole-network optimization,
+so it inherits the structural bias of the optimization script — exactly the
+limitation the paper's mixed choices remove.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..networks.base import LogicNetwork
+from ..networks.mixed import MixedNetwork
+from ..opt.equivalence import functional_classes
+from .choice import ChoiceNetwork
+
+__all__ = ["build_dch"]
+
+
+def build_dch(snapshots: Sequence[LogicNetwork], sat_verify: bool = True,
+              **eq_kwargs) -> ChoiceNetwork:
+    """Build a choice network from functionally equivalent snapshots.
+
+    ``snapshots[0]`` provides the base structure and the POs (typically the
+    *most optimized* network, as in ABC); later snapshots contribute choice
+    candidates.  All snapshots must share the PI/PO interface.
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot")
+    base = snapshots[0]
+    for s in snapshots[1:]:
+        if s.num_pis() != base.num_pis() or s.num_pos() != base.num_pos():
+            raise ValueError("snapshots must share the PI/PO interface")
+
+    mixed = MixedNetwork()
+    base_map = base.copy_into_with_map(mixed, include_pos=True)
+    pi_lits = {i: base_map[n] for i, n in enumerate(base.pis)}
+    for snap in snapshots[1:]:
+        snap_pi_map = {n: pi_lits[i] for i, n in enumerate(snap.pis)}
+        snap.copy_into_with_map(mixed, include_pos=False, pi_map=snap_pi_map)
+
+    choice_net = ChoiceNetwork(mixed)
+    classes = functional_classes(mixed, sat_verify=sat_verify, **eq_kwargs)
+    for members in classes:
+        rep, _ = members[0]
+        for node, phase in members[1:]:
+            choice_net.add_choice(rep, (node << 1) | int(phase))
+    return choice_net

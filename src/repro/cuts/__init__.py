@@ -1,0 +1,6 @@
+"""k-feasible cut enumeration with cut functions."""
+
+from .cut import Cut
+from .enumeration import enumerate_cuts, expand_tt
+
+__all__ = ["Cut", "enumerate_cuts", "expand_tt"]

@@ -1,0 +1,56 @@
+"""Cut objects: k-feasible cuts with attached cut functions."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..truth.truth_table import TruthTable
+
+__all__ = ["Cut"]
+
+
+class Cut:
+    """A cut of a node: a leaf set plus the local function over the leaves.
+
+    ``leaves`` is a sorted tuple of node indices.  ``tt`` is the function of
+    the cut's *root node* expressed over the leaves in tuple order (leaf
+    ``leaves[i]`` is truth-table variable ``i``).  ``root`` records which node
+    the cut belongs to — for choice-merged cut sets (Algorithm 3) the root may
+    be a choice node different from the representative whose cut set holds it;
+    ``phase`` is True when the root is equivalent to the *complement* of the
+    representative.
+    """
+
+    __slots__ = ("leaves", "tt", "root", "phase")
+
+    def __init__(self, leaves: Tuple[int, ...], tt: Optional[TruthTable], root: int, phase: bool = False):
+        self.leaves = leaves
+        self.tt = tt
+        self.root = root
+        self.phase = phase
+
+    def size(self) -> int:
+        return len(self.leaves)
+
+    def is_trivial(self) -> bool:
+        return len(self.leaves) == 1 and self.leaves[0] == self.root
+
+    def dominates(self, other: "Cut") -> bool:
+        """True if this cut's leaves are a subset of the other's."""
+        return set(self.leaves) <= set(other.leaves)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Cut)
+            and self.leaves == other.leaves
+            and self.root == other.root
+            and self.phase == other.phase
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.leaves, self.root, self.phase))
+
+    def __repr__(self) -> str:
+        tt = self.tt.to_hex() if self.tt is not None else "?"
+        mark = "!" if self.phase else ""
+        return f"Cut({mark}{self.root}: {list(self.leaves)}, tt={tt})"

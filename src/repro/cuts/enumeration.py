@@ -1,0 +1,212 @@
+"""Priority-cut enumeration (Mishchenko et al., ICCAD'07).
+
+For every node of a network this computes up to ``cut_limit`` k-feasible cuts
+by merging the fanin cut sets, filtering dominated cuts, and attaching the
+exact cut function as a truth table.  Cut functions are what both the
+K-LUT mapper (LUT content) and the ASIC mapper (Boolean matching against
+library cells) consume, and what MCH's multi-strategy resynthesis
+(Algorithm 2) rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..networks.base import GateType, LogicNetwork
+from ..truth.truth_table import TruthTable, var_mask
+from .cut import Cut
+
+__all__ = ["enumerate_cuts", "expand_tt"]
+
+# cache: (positions, num_vars) -> minterm index map
+_EXPAND_CACHE: Dict[Tuple[Tuple[int, ...], int], Tuple[int, ...]] = {}
+
+
+def expand_tt(tt: TruthTable, positions: Sequence[int], num_vars: int) -> int:
+    """Re-express ``tt`` over a larger variable set.
+
+    ``positions[i]`` gives the new index of old variable ``i``.  Returns raw
+    bits over ``num_vars`` variables.
+    """
+    key = (tuple(positions), num_vars)
+    idx = _EXPAND_CACHE.get(key)
+    if idx is None:
+        idx = []
+        for m in range(1 << num_vars):
+            src = 0
+            for i, p in enumerate(key[0]):
+                if (m >> p) & 1:
+                    src |= 1 << i
+            idx.append(src)
+        idx = tuple(idx)
+        _EXPAND_CACHE[key] = idx
+    bits = 0
+    src_bits = tt.bits
+    for m, s in enumerate(idx):
+        if (src_bits >> s) & 1:
+            bits |= 1 << m
+    return bits
+
+
+def _merge_leaves(a: Tuple[int, ...], b: Tuple[int, ...], k: int):
+    """Sorted union of two leaf tuples, or None if it exceeds ``k``."""
+    out = []
+    i = j = 0
+    la, lb = len(a), len(b)
+    while i < la and j < lb:
+        if len(out) > k:
+            return None
+        if a[i] == b[j]:
+            out.append(a[i])
+            i += 1
+            j += 1
+        elif a[i] < b[j]:
+            out.append(a[i])
+            i += 1
+        else:
+            out.append(b[j])
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    if len(out) > k:
+        return None
+    return tuple(out)
+
+
+def _apply_gate(gate: GateType, vals: List[int], mask: int) -> int:
+    if gate == GateType.AND:
+        return vals[0] & vals[1]
+    if gate == GateType.XOR:
+        return vals[0] ^ vals[1]
+    if gate == GateType.MAJ:
+        a, b, c = vals
+        return (a & b) | (a & c) | (b & c)
+    if gate == GateType.XOR3:
+        return vals[0] ^ vals[1] ^ vals[2]
+    raise ValueError(f"unsupported gate {gate}")
+
+
+def enumerate_cuts(ntk: LogicNetwork, k: int = 6, cut_limit: int = 8,
+                   nodes: Sequence[int] = None, order: Sequence[int] = None,
+                   choices: "Dict[int, List[Tuple[int, bool]]]" = None) -> List[List[Cut]]:
+    """Compute priority cuts for every node.
+
+    Returns ``cuts[node]`` — a list of at most ``cut_limit`` cuts, the first
+    of which is always the trivial cut ``{node}`` for gate nodes at the end
+    of the list (kept last so the mapper can always fall back on it).  Cut
+    truth tables are exact.
+
+    ``nodes`` optionally restricts computation to a node subset (plus their
+    transitive fanin), used when only part of the network needs cuts.
+
+    ``choices`` maps representative nodes to ``(choice_node, phase)`` pairs;
+    when given (together with a compatible ``order``, normally
+    :meth:`ChoiceNetwork.processing_order`), the cut set of each
+    representative absorbs the cut sets of its choice nodes — the cut-merging
+    step of the paper's Algorithm 3.  Merged cut truth tables are normalized
+    to the representative's polarity, so downstream consumers never see the
+    choice phase.
+    """
+    n_total = ntk.num_nodes()
+    cuts: List[List[Cut]] = [[] for _ in range(n_total)]
+
+    todo = None
+    if nodes is not None:
+        todo = set()
+        stack = list(nodes)
+        while stack:
+            m = stack.pop()
+            if m in todo:
+                continue
+            todo.add(m)
+            stack.extend(f >> 1 for f in ntk.fanins(m))
+        if choices is not None:
+            raise ValueError("node restriction cannot be combined with choices")
+
+    iteration = order if order is not None else range(n_total)
+    for node in iteration:
+        if todo is not None and node not in todo:
+            continue
+        t = ntk.node_type(node)
+        if t == GateType.CONST:
+            cuts[node] = [Cut((), TruthTable(0, 0), node)]
+            continue
+        if t == GateType.PI:
+            cuts[node] = [Cut((node,), TruthTable.var(1, 0), node)]
+            continue
+
+        fis = ntk.fanins(node)
+        fanin_cut_sets = [cuts[f >> 1] for f in fis]
+        fanin_phases = [f & 1 for f in fis]
+        new_cuts: List[Cut] = []
+        seen = set()
+
+        def consider(leaf_combo: List[Cut]):
+            leaves: Tuple[int, ...] = ()
+            for c in leaf_combo:
+                merged = _merge_leaves(leaves, c.leaves, k)
+                if merged is None:
+                    return
+                leaves = merged
+            if leaves in seen:
+                return
+            seen.add(leaves)
+            nv = len(leaves)
+            pos_of = {leaf: i for i, leaf in enumerate(leaves)}
+            mask = (1 << (1 << nv)) - 1
+            vals = []
+            for c, ph in zip(leaf_combo, fanin_phases):
+                positions = [pos_of[leaf] for leaf in c.leaves]
+                bits = expand_tt(c.tt, positions, nv)
+                if ph:
+                    bits ^= mask
+                vals.append(bits)
+            out = _apply_gate(t, vals, mask) & mask
+            new_cuts.append(Cut(leaves, TruthTable(nv, out), node))
+
+        # cartesian merge of fanin cut sets
+        if len(fis) == 2:
+            for c0 in fanin_cut_sets[0]:
+                for c1 in fanin_cut_sets[1]:
+                    consider([c0, c1])
+        else:
+            for c0 in fanin_cut_sets[0]:
+                for c1 in fanin_cut_sets[1]:
+                    for c2 in fanin_cut_sets[2]:
+                        consider([c0, c1, c2])
+
+        # drop dominated cuts (a cut is useless if another cut's leaves are a
+        # strict subset)
+        filtered: List[Cut] = []
+        new_cuts.sort(key=lambda c: len(c.leaves))
+        for c in new_cuts:
+            if any(f.dominates(c) for f in filtered):
+                continue
+            filtered.append(c)
+
+        filtered = filtered[: cut_limit - 1]
+
+        # Algorithm 3 (lines 2-8): absorb choice-node cuts into the
+        # representative's cut set, normalized to the representative's
+        # polarity.  The representative keeps its own cut budget; choice cuts
+        # get an equal extra budget so good structural cuts are never evicted
+        # by candidate cuts (and vice versa).
+        if choices is not None and node in choices:
+            merged: List[Cut] = []
+            seen_leafsets = {c.leaves for c in filtered}
+            for ch_node, ch_phase in choices[node]:
+                for c in cuts[ch_node]:
+                    if len(c.leaves) == 1 and c.leaves[0] == node:
+                        continue
+                    if c.leaves in seen_leafsets:
+                        continue
+                    seen_leafsets.add(c.leaves)
+                    tt = ~c.tt if ch_phase else c.tt
+                    merged.append(Cut(c.leaves, tt, c.root, ch_phase))
+            merged.sort(key=lambda c: len(c.leaves), reverse=True)
+            filtered.extend(merged[:cut_limit])
+
+        filtered.append(Cut((node,), TruthTable.var(1, 0), node))  # trivial
+        cuts[node] = filtered
+
+    return cuts

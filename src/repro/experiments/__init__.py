@@ -1,0 +1,40 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from .common import Timer, format_table, geomean, improvement
+from .fig1 import format_fig1, run_fig1
+from .fig2 import demo_circuit, format_fig2, run_fig2
+from .table1 import CONFIG_ORDER, format_results, run_circuit, run_table1, summarize
+from .table2 import format_table2, run_table2
+from .fig6 import format_fig6, run_fig6, summarize_fig6
+from .ablation import (
+    merge_ablation,
+    ratio_sweep,
+    representation_ablation,
+    strategy_ablation,
+)
+
+__all__ = [
+    "Timer",
+    "format_table",
+    "geomean",
+    "improvement",
+    "run_fig1",
+    "format_fig1",
+    "demo_circuit",
+    "run_fig2",
+    "format_fig2",
+    "CONFIG_ORDER",
+    "run_circuit",
+    "run_table1",
+    "summarize",
+    "format_results",
+    "run_table2",
+    "format_table2",
+    "run_fig6",
+    "format_fig6",
+    "summarize_fig6",
+    "ratio_sweep",
+    "merge_ablation",
+    "representation_ablation",
+    "strategy_ablation",
+]

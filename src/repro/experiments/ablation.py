@@ -1,0 +1,101 @@
+"""Ablations A1/A2 — the design choices DESIGN.md calls out.
+
+* sweep of the critical-path ratio ``r`` (how wide the level-oriented
+  region is);
+* sweep of the mapper cut limit ``l`` with and without choice-cut merging
+  (Algorithm 3 on/off);
+* candidate representation set (AIG-only vs XMG-only vs mixed);
+* strategy library composition (level-only vs area-only vs both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits import build
+from ..core import ChoiceNetwork, MchParams, build_mch
+from ..mapping import asic_map, lut_map
+from ..networks import Aig, Xag, Xmg
+from ..opt import compress2rs
+from ..synthesis import AREA_STRATEGY, LEVEL_STRATEGY, StrategyLibrary
+from .common import format_table
+
+__all__ = ["ratio_sweep", "merge_ablation", "representation_ablation", "strategy_ablation"]
+
+
+def ratio_sweep(circuit: str = "adder", scale: str = "small",
+                ratios: Sequence[float] = (0.0, 0.5, 0.85, 1.0, 1.5)) -> List[dict]:
+    """MCH quality as a function of the critical-path ratio ``r``."""
+    ntk = compress2rs(build(circuit, scale), rounds=2)
+    rows = []
+    for r in ratios:
+        mch = build_mch(ntk, MchParams(representations=(Xmg, Aig), ratio=r))
+        nl = asic_map(mch, objective="delay")
+        rows.append({
+            "ratio": r,
+            "choices": mch.num_choices(),
+            "area": nl.area(),
+            "delay": nl.delay(),
+        })
+    return rows
+
+
+def merge_ablation(circuit: str = "adder", scale: str = "small",
+                   cut_limits: Sequence[int] = (4, 8, 12)) -> List[dict]:
+    """Effect of the cut limit ``l`` and of choice-cut merging (Alg. 3)."""
+    ntk = compress2rs(build(circuit, scale), rounds=2)
+    mch = build_mch(ntk, MchParams(representations=(Xmg, Aig), ratio=1.0))
+    rows = []
+    for l in cut_limits:
+        with_merge = lut_map(mch, k=6, cut_limit=l, objective="area")
+        # Algorithm 3 off: same network and candidates, but the mapper cannot
+        # see choice cuts (classes erased)
+        no_merge = lut_map(ChoiceNetwork(mch.ntk).ntk, k=6, cut_limit=l, objective="area")
+        rows.append({
+            "cut_limit": l,
+            "merged.luts": with_merge.num_luts(),
+            "merged.depth": with_merge.depth(),
+            "unmerged.luts": no_merge.num_luts(),
+            "unmerged.depth": no_merge.depth(),
+        })
+    return rows
+
+
+def representation_ablation(circuit: str = "adder", scale: str = "small") -> List[dict]:
+    """Which candidate vocabulary drives the gains?"""
+    ntk = compress2rs(build(circuit, scale), rounds=2)
+    rows = []
+    for label, reps in [("AIG", (Aig,)), ("XAG", (Xag,)), ("XMG", (Xmg,)),
+                        ("AIG+XMG", (Aig, Xmg)), ("AIG+XAG+XMG", (Aig, Xag, Xmg))]:
+        mch = build_mch(ntk, MchParams(representations=reps, ratio=1.0))
+        lut = lut_map(mch, k=6, objective="delay")
+        rows.append({
+            "reps": label,
+            "choices": mch.num_choices(),
+            "luts": lut.num_luts(),
+            "depth": lut.depth(),
+        })
+    return rows
+
+
+def strategy_ablation(circuit: str = "adder", scale: str = "small") -> List[dict]:
+    """Level-only vs area-only vs the full multi-strategy library."""
+    ntk = compress2rs(build(circuit, scale), rounds=2)
+    variants = {
+        "level-only": StrategyLibrary(level=LEVEL_STRATEGY, area=LEVEL_STRATEGY),
+        "area-only": StrategyLibrary(level=AREA_STRATEGY, area=AREA_STRATEGY),
+        "multi (paper)": StrategyLibrary(),
+    }
+    rows = []
+    for label, lib in variants.items():
+        mch = build_mch(ntk, MchParams(representations=(Xmg, Aig), ratio=1.0,
+                                       strategies=lib))
+        nl = asic_map(mch, objective="delay")
+        rows.append({
+            "strategies": label,
+            "choices": mch.num_choices(),
+            "area": nl.area(),
+            "delay": nl.delay(),
+        })
+    return rows

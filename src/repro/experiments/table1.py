@@ -1,0 +1,146 @@
+"""Experiment E3 — Table I: ASIC technology mapping on the EPFL suite.
+
+Reproduces the paper's six-column comparison:
+
+1. ``baseline``      — delay-oriented mapping of the optimized AIG (ABC's
+   ``&nf`` analogue);
+2. ``dch``           — traditional structural choices, delay mapping
+   (``&dch -m; &nf``);
+3. ``dch_area``      — traditional structural choices, area mapping
+   (``dch; map -a``);
+4. ``mch_balanced``  — MCH from the input AIG alone (path-classified
+   level/area candidate strategies), delay mapping;
+5. ``mch_delay``     — MCH after XAG conversion (XAG + AIG choices, widened
+   critical region r=0.6), delay mapping;
+6. ``mch_area``      — MCH with XMG + AIG choices, no critical region,
+   area mapping.
+
+Every circuit is first pushed through the ``compress2rs`` analogue, exactly
+like the paper "simulates the logic optimization process" before mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..circuits import ALL_BENCHMARKS, build
+from ..core import MchParams, build_dch, build_mch
+from ..mapping import asic_map, graph_map
+from ..networks import Aig, Xag, Xmg
+from ..opt import compress2rs
+from .common import Timer, format_table, geomean, improvement
+
+__all__ = ["CONFIG_ORDER", "run_circuit", "run_table1", "summarize", "format_results"]
+
+CONFIG_ORDER = ["baseline", "dch", "dch_area", "mch_balanced", "mch_delay", "mch_area"]
+
+
+@dataclass
+class MappingResultRow:
+    area: float
+    delay: float
+    seconds: float
+
+
+def run_circuit(ntk: Aig, configs: Optional[Sequence[str]] = None,
+                opt_rounds: int = 2) -> Dict[str, MappingResultRow]:
+    """Run the Table-I configurations on one circuit; returns config -> row."""
+    configs = list(configs or CONFIG_ORDER)
+    out: Dict[str, MappingResultRow] = {}
+    opt = compress2rs(ntk, rounds=opt_rounds)
+
+    if "baseline" in configs:
+        with Timer() as t:
+            nl = asic_map(opt, objective="delay")
+        out["baseline"] = MappingResultRow(nl.area(), nl.delay(), t.seconds)
+
+    if "dch" in configs or "dch_area" in configs:
+        with Timer() as t_build:
+            snapshots = [opt, compress2rs(opt, rounds=2), ntk]
+            dch = build_dch(snapshots, sat_verify=True)
+        if "dch" in configs:
+            with Timer() as t:
+                nl = asic_map(dch, objective="delay")
+            out["dch"] = MappingResultRow(nl.area(), nl.delay(), t_build.seconds + t.seconds)
+        if "dch_area" in configs:
+            with Timer() as t:
+                nl = asic_map(dch, objective="area")
+            out["dch_area"] = MappingResultRow(nl.area(), nl.delay(), t_build.seconds + t.seconds)
+
+    if "mch_balanced" in configs:
+        with Timer() as t:
+            mch = build_mch(opt, MchParams(representations=(Aig,), ratio=1.0))
+            nl = asic_map(mch, objective="delay")
+        out["mch_balanced"] = MappingResultRow(nl.area(), nl.delay(), t.seconds)
+
+    if "mch_delay" in configs:
+        with Timer() as t:
+            xag = graph_map(opt, Xag, objective="delay")
+            mch = build_mch(xag, MchParams(representations=(Xag, Aig), ratio=0.6))
+            nl = asic_map(mch, objective="delay")
+        out["mch_delay"] = MappingResultRow(nl.area(), nl.delay(), t.seconds)
+
+    if "mch_area" in configs:
+        with Timer() as t:
+            mch = build_mch(opt, MchParams(representations=(Xmg, Aig), ratio=1.5))
+            nl = asic_map(mch, objective="area")
+        out["mch_area"] = MappingResultRow(nl.area(), nl.delay(), t.seconds)
+
+    return out
+
+
+def run_table1(names: Optional[Sequence[str]] = None, scale: str = "small",
+               configs: Optional[Sequence[str]] = None,
+               opt_rounds: int = 2) -> Dict[str, Dict[str, MappingResultRow]]:
+    """Run Table I over the suite; returns circuit -> config -> row."""
+    names = list(names or ALL_BENCHMARKS)
+    results: Dict[str, Dict[str, MappingResultRow]] = {}
+    for name in names:
+        results[name] = run_circuit(build(name, scale), configs=configs,
+                                    opt_rounds=opt_rounds)
+    return results
+
+
+def summarize(results: Dict[str, Dict[str, MappingResultRow]]) -> Dict[str, Dict[str, float]]:
+    """Geomean per config plus improvement over the baseline config."""
+    configs = [c for c in CONFIG_ORDER if any(c in r for r in results.values())]
+    summary: Dict[str, Dict[str, float]] = {}
+    for cfg in configs:
+        rows = [r[cfg] for r in results.values() if cfg in r]
+        summary[cfg] = {
+            "area": geomean(r.area for r in rows),
+            "delay": geomean(r.delay for r in rows),
+            "time": geomean(max(r.seconds, 1e-3) for r in rows),
+        }
+    if "baseline" in summary:
+        base = summary["baseline"]
+        for cfg in configs:
+            summary[cfg]["area_gain_%"] = improvement(base["area"], summary[cfg]["area"])
+            summary[cfg]["delay_gain_%"] = improvement(base["delay"], summary[cfg]["delay"])
+    return summary
+
+
+def format_results(results: Dict[str, Dict[str, MappingResultRow]]) -> str:
+    """Render the full Table-I text block (per-circuit rows + summary)."""
+    configs = [c for c in CONFIG_ORDER if any(c in r for r in results.values())]
+    headers = ["circuit"]
+    for cfg in configs:
+        headers += [f"{cfg}.area", f"{cfg}.delay", f"{cfg}.t(s)"]
+    rows = []
+    for name, per_cfg in results.items():
+        row: List = [name]
+        for cfg in configs:
+            r = per_cfg.get(cfg)
+            row += [r.area, r.delay, r.seconds] if r else ["-", "-", "-"]
+        rows.append(row)
+    summary = summarize(results)
+    geo_row: List = ["GEOMEAN"]
+    gain_row: List = ["GAIN vs &nf %"]
+    for cfg in configs:
+        geo_row += [summary[cfg]["area"], summary[cfg]["delay"], summary[cfg]["time"]]
+        gain_row += [summary[cfg].get("area_gain_%", 0.0),
+                     summary[cfg].get("delay_gain_%", 0.0), ""]
+    rows.append(geo_row)
+    rows.append(gain_row)
+    return format_table(headers, rows, title="Table I — ASIC technology mapping")

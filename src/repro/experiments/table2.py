@@ -1,0 +1,79 @@
+"""Experiment E4 — Table II: the EPFL best-results 6-LUT challenge protocol.
+
+The paper strashes the published best 6-LUT results back into redundant AIGs
+and shows that the MCH mapper alone (no logic optimization, no post-mapping
+optimization) recovers or beats the record LUT counts, usually with better
+levels.
+
+Without the published record netlists we reproduce the *protocol* against
+our own best-known results: a heavily optimized network is LUT-mapped to
+give the "best known" reference, the LUT network is strashed back into a
+redundant AIG (exactly what ABC's ``strash`` does to a record entry), and
+the plain mapper vs the MCH (AIG+XMG) mapper remap it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..circuits import build
+from ..core import MchParams, build_mch
+from ..mapping import graph_map_iterate, lut_map
+from ..networks import Aig, Xmg
+from ..opt import compress2rs
+from .common import format_table
+
+__all__ = ["DEFAULT_CIRCUITS", "run_table2", "format_table2"]
+
+DEFAULT_CIRCUITS = ["sin", "sqrt", "square", "hyp", "voter"]
+
+
+@dataclass
+class Table2Row:
+    best_luts: int
+    best_levels: int
+    strash_luts: int
+    strash_levels: int
+    mch_luts: int
+    mch_levels: int
+
+
+def run_table2(names: Optional[Sequence[str]] = None, scale: str = "small",
+               k: int = 6) -> Dict[str, Table2Row]:
+    out: Dict[str, Table2Row] = {}
+    for name in names or DEFAULT_CIRCUITS:
+        ntk = build(name, scale)
+        # our stand-in for the published record: optimize hard, then area-map
+        optimized = graph_map_iterate(compress2rs(ntk, rounds=2), Xmg,
+                                      objective="area", max_rounds=4)
+        best = lut_map(optimized, k=k, objective="area")
+
+        # challenge protocol: strash the record back to a redundant AIG
+        redundant = best.to_logic_network(Aig)
+
+        plain = lut_map(redundant, k=k, objective="area")
+        # wide candidate generation (6-input cuts, larger MFFCs) — the LUT
+        # challenge rewards structure recovery over speed
+        mch = build_mch(redundant, MchParams(
+            representations=(Xmg,), ratio=1.5, cut_size=6,
+            max_cuts_per_node=4, mffc_max_pis=10,
+        ))
+        with_choices = lut_map(mch, k=k, objective="area")
+
+        out[name] = Table2Row(
+            best_luts=best.num_luts(), best_levels=best.depth(),
+            strash_luts=plain.num_luts(), strash_levels=plain.depth(),
+            mch_luts=with_choices.num_luts(), mch_levels=with_choices.depth(),
+        )
+    return out
+
+
+def format_table2(rows: Dict[str, Table2Row]) -> str:
+    return format_table(
+        ["circuit", "best.luts", "best.lev", "strash.luts", "strash.lev",
+         "mch.luts", "mch.lev"],
+        [[name, r.best_luts, r.best_levels, r.strash_luts, r.strash_levels,
+          r.mch_luts, r.mch_levels] for name, r in rows.items()],
+        title="Table II — EPFL best-result 6-LUT challenge protocol",
+    )

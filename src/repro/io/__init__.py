@@ -1,0 +1,22 @@
+"""File-format I/O: AIGER, BLIF, genlib, structural Verilog."""
+
+from .aiger import read_aag, read_aig_binary, write_aag, write_aig_binary
+from .blif import read_blif, write_blif
+from .verilog import write_verilog_logic, write_verilog_netlist
+from .dot import write_choice_dot, write_dot
+from ..mapping.library import parse_genlib, write_genlib
+
+__all__ = [
+    "read_aag",
+    "write_aag",
+    "read_aig_binary",
+    "write_aig_binary",
+    "read_blif",
+    "write_blif",
+    "write_verilog_logic",
+    "write_verilog_netlist",
+    "write_dot",
+    "write_choice_dot",
+    "parse_genlib",
+    "write_genlib",
+]

@@ -1,0 +1,175 @@
+"""AIGER format I/O (ASCII ``aag`` and binary ``aig``), combinational subset.
+
+The AIGER literal convention matches ours (literal = 2*var + phase), so the
+translation is direct.  Latches are not supported — the paper's flow is
+purely combinational.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from ..networks.aig import Aig
+
+__all__ = ["write_aag", "read_aag", "write_aig_binary", "read_aig_binary"]
+
+
+def write_aag(ntk: Aig, include_symbols: bool = True) -> str:
+    """Serialize an AIG to ASCII AIGER."""
+    # compact relabeling: PIs first, then reachable gates in topo order
+    index = {0: 0}
+    for i, n in enumerate(ntk.pis):
+        index[n] = i + 1
+    gates = [n for n in ntk.gates()]
+    for j, n in enumerate(gates):
+        index[n] = ntk.num_pis() + 1 + j
+
+    def relit(l: int) -> int:
+        return (index[l >> 1] << 1) | (l & 1)
+
+    m = ntk.num_pis() + len(gates)
+    lines = [f"aag {m} {ntk.num_pis()} 0 {ntk.num_pos()} {len(gates)}"]
+    for n in ntk.pis:
+        lines.append(str(index[n] << 1))
+    for p in ntk.pos:
+        lines.append(str(relit(p)))
+    for n in gates:
+        a, b = ntk.fanins(n)
+        lines.append(f"{index[n] << 1} {relit(a)} {relit(b)}")
+    if include_symbols:
+        for i, name in enumerate(ntk.pi_names):
+            lines.append(f"i{i} {name}")
+        for i, name in enumerate(ntk.po_names):
+            lines.append(f"o{i} {name}")
+    return "\n".join(lines) + "\n"
+
+
+def read_aag(text: str) -> Aig:
+    """Parse ASCII AIGER into an :class:`Aig`."""
+    lines = [l for l in text.splitlines() if l.strip()]
+    header = lines[0].split()
+    if header[0] != "aag":
+        raise ValueError("not an ASCII AIGER file")
+    m, i, l, o, a = (int(x) for x in header[1:6])
+    if l:
+        raise ValueError("latches are not supported")
+    ntk = Aig()
+    lit_of = {0: 0}
+    pos_lits: List[int] = []
+    idx = 1
+    pi_lits = []
+    for _ in range(i):
+        v = int(lines[idx]); idx += 1
+        pi_lits.append(v)
+        lit_of[v >> 1] = ntk.create_pi()
+    for _ in range(o):
+        pos_lits.append(int(lines[idx])); idx += 1
+    and_defs = []
+    for _ in range(a):
+        x, y, z = (int(t) for t in lines[idx].split()); idx += 1
+        and_defs.append((x, y, z))
+
+    def get(lit: int) -> int:
+        return lit_of[lit >> 1] ^ (lit & 1)
+
+    for x, y, z in and_defs:
+        lit_of[x >> 1] = ntk.create_and(get(y), get(z))
+    # symbol table
+    pi_names = {}
+    po_names = {}
+    for line in lines[idx:]:
+        if line.startswith("i") and " " in line:
+            k, name = line.split(" ", 1)
+            pi_names[int(k[1:])] = name
+        elif line.startswith("o") and " " in line:
+            k, name = line.split(" ", 1)
+            po_names[int(k[1:])] = name
+        elif line.startswith("c"):
+            break
+    if pi_names:
+        ntk._pi_names = [pi_names.get(j, f"pi{j}") for j in range(i)]
+    for j, p in enumerate(pos_lits):
+        ntk.create_po(get(p), po_names.get(j, f"po{j}"))
+    return ntk
+
+
+def _encode_delta(out: bytearray, delta: int) -> None:
+    while delta >= 0x80:
+        out.append((delta & 0x7F) | 0x80)
+        delta >>= 7
+    out.append(delta)
+
+
+def write_aig_binary(ntk: Aig) -> bytes:
+    """Serialize to binary AIGER (``aig``)."""
+    index = {0: 0}
+    for i, n in enumerate(ntk.pis):
+        index[n] = i + 1
+    gates = list(ntk.gates())
+    for j, n in enumerate(gates):
+        index[n] = ntk.num_pis() + 1 + j
+
+    def relit(l: int) -> int:
+        return (index[l >> 1] << 1) | (l & 1)
+
+    m = ntk.num_pis() + len(gates)
+    out = bytearray()
+    out += f"aig {m} {ntk.num_pis()} 0 {ntk.num_pos()} {len(gates)}\n".encode()
+    for p in ntk.pos:
+        out += f"{relit(p)}\n".encode()
+    for n in gates:
+        a, b = (relit(f) for f in ntk.fanins(n))
+        lhs = index[n] << 1
+        if a < b:
+            a, b = b, a
+        _encode_delta(out, lhs - a)
+        _encode_delta(out, a - b)
+    return bytes(out)
+
+
+def read_aig_binary(data: bytes) -> Aig:
+    """Parse binary AIGER."""
+    nl = data.index(b"\n")
+    header = data[:nl].split()
+    if header[0] != b"aig":
+        raise ValueError("not a binary AIGER file")
+    m, i, l, o, a = (int(x) for x in header[1:6])
+    if l:
+        raise ValueError("latches are not supported")
+    pos_lits = []
+    idx = nl + 1
+    for _ in range(o):
+        nl2 = data.index(b"\n", idx)
+        pos_lits.append(int(data[idx:nl2]))
+        idx = nl2 + 1
+
+    ntk = Aig()
+    lit_of = {0: 0}
+    for v in range(1, i + 1):
+        lit_of[v] = ntk.create_pi()
+
+    def decode() -> int:
+        nonlocal idx
+        x = 0
+        shift = 0
+        while True:
+            byte = data[idx]
+            idx += 1
+            x |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return x
+            shift += 7
+
+    def get(lit: int) -> int:
+        return lit_of[lit >> 1] ^ (lit & 1)
+
+    for j in range(a):
+        lhs = (i + 1 + j) << 1
+        d1 = decode()
+        d2 = decode()
+        rhs0 = lhs - d1
+        rhs1 = rhs0 - d2
+        lit_of[lhs >> 1] = ntk.create_and(get(rhs0), get(rhs1))
+    for j, p in enumerate(pos_lits):
+        ntk.create_po(get(p), f"po{j}")
+    return ntk

@@ -1,0 +1,145 @@
+"""BLIF I/O for LUT networks (``.names``-based logic)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..networks.lut_network import LutNetwork
+from ..truth.truth_table import TruthTable
+from ..truth.isop import cube_literals, isop
+
+__all__ = ["write_blif", "read_blif"]
+
+
+def write_blif(lut: LutNetwork, model: str = "top") -> str:
+    """Serialize a LUT network to BLIF (one ``.names`` per LUT)."""
+    name_of: Dict[int, str] = {0: "const0"}
+    lines = [f".model {model}"]
+    pi_names = []
+    for i, n in enumerate(lut.pis):
+        nm = f"pi{i}"
+        name_of[n] = nm
+        pi_names.append(nm)
+    lines.append(".inputs " + " ".join(pi_names))
+    po_names = []
+    for j, (node, phase) in enumerate(lut.pos):
+        po_names.append(f"po{j}")
+    lines.append(".outputs " + " ".join(po_names))
+
+    uses_const0 = any(node == 0 for node, _ in lut.pos)
+    body: List[str] = []
+    for n in range(0, len(lut._is_lut)):
+        if not lut.is_lut(n):
+            continue
+        name_of[n] = f"n{n}"
+        fis = lut.fanins(n)
+        tt = lut.lut_function(n)
+        body.append(".names " + " ".join(name_of[f] for f in fis) + f" n{n}")
+        if tt.is_const1():
+            body.append("-" * len(fis) + " 1" if fis else "1")
+        else:
+            for cube in isop(tt):  # empty cover == constant 0
+                row = ["-"] * len(fis)
+                for v, neg in cube_literals(cube):
+                    row[v] = "0" if neg else "1"
+                body.append("".join(row) + " 1")
+    if uses_const0:
+        body.append(".names const0")  # empty cover == constant 0
+
+    for j, (node, phase) in enumerate(lut.pos):
+        src = name_of[node]
+        body.append(f".names {src} po{j}")
+        body.append(("0" if phase else "1") + " 1")
+
+    lines.extend(body)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def read_blif(text: str, k: int = 6) -> LutNetwork:
+    """Parse a (subset of) BLIF into a LUT network."""
+    # join continuation lines, drop comments
+    raw: List[str] = []
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        if raw and raw[-1].endswith("\\"):
+            raw[-1] = raw[-1][:-1] + " " + line.strip()
+        else:
+            raw.append(line)
+
+    inputs: List[str] = []
+    outputs: List[str] = []
+    tables: List = []  # (fanin names, out name, rows)
+    i = 0
+    while i < len(raw):
+        line = raw[i]
+        if line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+        elif line.startswith(".names"):
+            sig = line.split()[1:]
+            fis, out = sig[:-1], sig[-1]
+            rows = []
+            while i + 1 < len(raw) and not raw[i + 1].startswith("."):
+                rows.append(raw[i + 1])
+                i += 1
+            tables.append((fis, out, rows))
+        elif line.startswith((".model", ".end")):
+            pass
+        else:
+            raise ValueError(f"unsupported BLIF construct: {line!r}")
+        i += 1
+
+    lut = LutNetwork(k)
+    node_of: Dict[str, int] = {}
+    for nm in inputs:
+        node_of[nm] = lut.create_pi(nm)
+
+    # topological instantiation of .names tables
+    pending = list(tables)
+    while pending:
+        progressed = False
+        rest = []
+        for fis, out, rows in pending:
+            if any(f not in node_of for f in fis):
+                rest.append((fis, out, rows))
+                continue
+            nv = len(fis)
+            bits = 0
+            on_value = True
+            for row in rows:
+                parts = row.split()
+                pattern = parts[0] if len(parts) == 2 else ""
+                value = parts[-1]
+                if value == "0":
+                    on_value = False
+                stars = [j for j, c in enumerate(pattern) if c == "-"]
+                base = 0
+                for j, c in enumerate(pattern):
+                    if c == "1":
+                        base |= 1 << j
+                for mask in range(1 << len(stars)):
+                    m = base
+                    for t, j in enumerate(stars):
+                        if (mask >> t) & 1:
+                            m |= 1 << j
+                    bits |= 1 << m
+                if nv == 0 and value == "1":
+                    bits = 1
+            tt = TruthTable(nv, bits)
+            if not on_value:
+                tt = ~tt
+            node_of[out] = lut.create_lut([node_of[f] for f in fis], tt)
+            progressed = True
+        if not progressed:
+            raise ValueError("cyclic or underdefined BLIF")
+        pending = rest
+
+    for nm in outputs:
+        if nm not in node_of:
+            raise ValueError(f"undriven output {nm}")
+        lut.create_po(node_of[nm], False, nm)
+    return lut

@@ -1,0 +1,51 @@
+"""Graphviz DOT writers for networks and choice networks (visualization)."""
+
+from __future__ import annotations
+
+from ..core.choice import ChoiceNetwork
+from ..networks.base import GateType, LogicNetwork
+
+__all__ = ["write_dot", "write_choice_dot"]
+
+_SHAPE = {
+    GateType.AND: ("AND", "box"),
+    GateType.XOR: ("XOR", "diamond"),
+    GateType.MAJ: ("MAJ", "ellipse"),
+    GateType.XOR3: ("XOR3", "diamond"),
+}
+
+
+def write_dot(ntk: LogicNetwork, name: str = "network") -> str:
+    """Serialize a network to Graphviz DOT (dashed edges = complemented)."""
+    lines = [f"digraph {name} {{", "  rankdir=BT;"]
+    for i, n in enumerate(ntk.pis):
+        lines.append(f'  n{n} [label="{ntk.pi_names[i]}" shape=triangle];')
+    for g in ntk.gates():
+        label, shape = _SHAPE[ntk.node_type(g)]
+        lines.append(f'  n{g} [label="{label}\\n{g}" shape={shape}];')
+        for f in ntk.fanins(g):
+            style = " [style=dashed]" if f & 1 else ""
+            if (f >> 1) == 0:
+                lines.append(f'  c{g}_{f} [label="{f & 1}" shape=none];')
+                lines.append(f"  c{g}_{f} -> n{g}{style};")
+            else:
+                lines.append(f"  n{f >> 1} -> n{g}{style};")
+    for j, p in enumerate(ntk.pos):
+        lines.append(f'  o{j} [label="{ntk.po_names[j]}" shape=invtriangle];')
+        style = " [style=dashed]" if p & 1 else ""
+        lines.append(f"  n{p >> 1} -> o{j}{style};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def write_choice_dot(choice_net: ChoiceNetwork, name: str = "choices") -> str:
+    """DOT with equivalence links drawn as red double-headed edges."""
+    base = write_dot(choice_net.ntk, name)
+    extra = []
+    for rep, members in choice_net.choices_of.items():
+        for node, phase in members:
+            style = "dashed" if phase else "solid"
+            extra.append(
+                f"  n{node} -> n{rep} [color=red dir=both style={style} constraint=false];"
+            )
+    return base.replace("}\n", "\n".join(extra) + "\n}\n") if extra else base

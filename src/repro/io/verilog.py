@@ -1,0 +1,107 @@
+"""Structural Verilog writers for mapped netlists and logic networks."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..networks.base import GateType, LogicNetwork
+from ..networks.netlist import CellNetlist
+
+__all__ = ["write_verilog_netlist", "write_verilog_logic"]
+
+
+def _sanitize(name: str) -> str:
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return out if out and not out[0].isdigit() else "_" + out
+
+
+def write_verilog_netlist(netlist: CellNetlist, module: str = "top") -> str:
+    """Gate-level Verilog with one cell instance per line."""
+    pi_names = [_sanitize(n) for n in netlist._pi_names]
+    po_names = [_sanitize(n) for n in netlist._po_names]
+    lines = [f"module {module} ("]
+    ports = pi_names + po_names
+    lines.append("    " + ", ".join(ports))
+    lines.append(");")
+    for n in pi_names:
+        lines.append(f"  input {n};")
+    for n in po_names:
+        lines.append(f"  output {n};")
+
+    net_name: Dict[int, str] = {0: "const0_", 1: "const1_"}
+    for name, net in zip(pi_names, netlist.pis):
+        net_name[net] = name
+    wires = []
+    for net, d in enumerate(netlist._drivers):
+        if d is not None and net not in net_name:
+            net_name[net] = f"w{net}"
+            wires.append(f"w{net}")
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+    lines.append("  wire const0_, const1_;")
+    lines.append("  assign const0_ = 1'b0;")
+    lines.append("  assign const1_ = 1'b1;")
+
+    inst = 0
+    for net, d in enumerate(netlist._drivers):
+        if d is None:
+            continue
+        cell, fis = d
+        pins = ", ".join(
+            f".{pin}({net_name[f]})" for pin, f in zip(cell.pin_names, fis)
+        )
+        lines.append(f"  {cell.name} g{inst} ({pins}, .O({net_name[net]}));")
+        inst += 1
+
+    for name, net in zip(po_names, netlist.pos):
+        lines.append(f"  assign {name} = {net_name[net]};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_OPS = {
+    GateType.AND: lambda a, b: f"({a} & {b})",
+    GateType.XOR: lambda a, b: f"({a} ^ {b})",
+}
+
+
+def write_verilog_logic(ntk: LogicNetwork, module: str = "top") -> str:
+    """Behavioural (assign-based) Verilog for a logic network."""
+    pi_names = [_sanitize(n) for n in ntk.pi_names]
+    po_names = [_sanitize(n) for n in ntk.po_names]
+    lines = [f"module {module} ("]
+    lines.append("    " + ", ".join(pi_names + po_names))
+    lines.append(");")
+    for n in pi_names:
+        lines.append(f"  input {n};")
+    for n in po_names:
+        lines.append(f"  output {n};")
+
+    name: Dict[int, str] = {0: "1'b0"}
+    for nm, n in zip(pi_names, ntk.pis):
+        name[n] = nm
+
+    def ref(literal: int) -> str:
+        base = name[literal >> 1]
+        return f"(~{base})" if literal & 1 else base
+
+    wires = [f"n{g}" for g in ntk.gates()]
+    if wires:
+        lines.append("  wire " + ", ".join(wires) + ";")
+    for g in ntk.gates():
+        name[g] = f"n{g}"
+        fis = ntk.fanins(g)
+        t = ntk.node_type(g)
+        if t in _OPS:
+            expr = _OPS[t](ref(fis[0]), ref(fis[1]))
+        elif t == GateType.MAJ:
+            a, b, c = (ref(f) for f in fis)
+            expr = f"(({a} & {b}) | ({a} & {c}) | ({b} & {c}))"
+        else:  # XOR3
+            a, b, c = (ref(f) for f in fis)
+            expr = f"({a} ^ {b} ^ {c})"
+        lines.append(f"  assign n{g} = {expr};")
+    for nm, p in zip(po_names, ntk.pos):
+        lines.append(f"  assign {nm} = {ref(p)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,32 @@
+"""Technology mapping: K-LUT, ASIC standard cells, graph mapping."""
+
+from .lut_mapper import CutMapper, MappingCover, lut_map
+from .graph_mapper import graph_map, graph_map_iterate
+from .library import Cell, Library, parse_genlib, write_genlib
+from .asap7 import asap7_library
+from .matcher import Match, MatchTable
+from .asic_mapper import AsicMapper, asic_map
+from .supergates import Supergate, expand_with_supergates
+from .timing import LinearLoadModel, critical_path, sta
+
+__all__ = [
+    "CutMapper",
+    "MappingCover",
+    "lut_map",
+    "graph_map",
+    "graph_map_iterate",
+    "Cell",
+    "Library",
+    "parse_genlib",
+    "write_genlib",
+    "asap7_library",
+    "Match",
+    "MatchTable",
+    "AsicMapper",
+    "asic_map",
+    "Supergate",
+    "expand_with_supergates",
+    "LinearLoadModel",
+    "critical_path",
+    "sta",
+]

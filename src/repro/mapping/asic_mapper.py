@@ -1,0 +1,490 @@
+"""Phase-aware standard-cell technology mapping.
+
+The classical cut-based ASIC mapper (Chatterjee et al., TCAD'06; ABC's
+``map`` / ``&nf``): every node is mapped in both polarities, cut functions
+are Boolean-matched against the library in both phases, inverters connect the
+two polarities where profitable, and delay / area-flow passes select the
+cover under required times.  Like the rest of the mapping stack it is
+choice-aware — handing it a :class:`~repro.core.choice.ChoiceNetwork` built
+by MCH turns it into the paper's MCH-based ASIC mapper (Algorithm 3).
+
+Delay model: fixed per-pin cell delays in ps, load-independent (see
+``asap7.py``).  Objectives: ``'delay'`` minimizes arrival then recovers area
+under required times; ``'area'`` minimizes area flow directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.choice import ChoiceNetwork
+from ..cuts.cut import Cut
+from ..cuts.enumeration import enumerate_cuts
+from ..networks.base import LogicNetwork
+from ..networks.netlist import CellNetlist
+from .library import Library
+from .asap7 import asap7_library
+from .matcher import Match, MatchTable
+
+__all__ = ["AsicMapper", "asic_map"]
+
+INF = float("inf")
+
+
+@dataclass
+class _Impl:
+    """Chosen implementation of one (node, phase)."""
+
+    kind: str                     # "match", "inv" or "const"
+    cut: Optional[Cut] = None
+    match: Optional[Match] = None
+    value: bool = False           # for kind == "const"
+
+
+class AsicMapper:
+    """Cut-based Boolean-matching mapper onto a standard-cell library."""
+
+    def __init__(self, subject: Union[LogicNetwork, ChoiceNetwork],
+                 library: Optional[Library] = None, objective: str = "delay",
+                 cut_limit: int = 8, flow_iterations: int = 2,
+                 exact_iterations: int = 2):
+        if isinstance(subject, ChoiceNetwork):
+            self.ntk = subject.ntk
+            self.choices = subject.choices_of
+            self.order = subject.processing_order()
+        else:
+            self.ntk = subject
+            self.choices = None
+            self.order = list(range(subject.num_nodes()))
+        if objective not in ("delay", "area"):
+            raise ValueError("objective must be 'delay' or 'area'")
+        self.lib = library or asap7_library()
+        self.objective = objective
+        self.k = min(4, self.lib.max_pins)
+        self.cut_limit = cut_limit
+        self.flow_iterations = flow_iterations
+        self.exact_iterations = exact_iterations
+        self.table = MatchTable(self.lib, max_pins=self.k)
+        self.inv = self.lib.inverter
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> CellNetlist:
+        import sys
+
+        ntk = self.ntk
+        n = ntk.num_nodes()
+        sys.setrecursionlimit(max(sys.getrecursionlimit(), 4 * n + 1000))
+        self.cuts = enumerate_cuts(ntk, k=self.k, cut_limit=self.cut_limit,
+                                   order=self.order, choices=self.choices)
+        gate_nodes = [m for m in self.order if ntk.is_gate(m)]
+
+        arrival = [[INF, INF] for _ in range(n)]
+        flow = [[INF, INF] for _ in range(n)]
+        impl: List[List[Optional[_Impl]]] = [[None, None] for _ in range(n)]
+        inv_d, inv_a = self.inv.max_delay(), self.inv.area
+
+        for pi in ntk.pis:
+            arrival[pi][0], flow[pi][0] = 0.0, 0.0
+            arrival[pi][1], flow[pi][1] = inv_d, inv_a
+
+        # Initial fanout estimate from PO-reachable structure only, so choice
+        # candidate cones do not inflate sharing estimates.
+        reach = set()
+        stack = [p >> 1 for p in ntk.pos]
+        while stack:
+            x = stack.pop()
+            if x in reach:
+                continue
+            reach.add(x)
+            stack.extend(f >> 1 for f in ntk.fanins(x))
+        refs = [0] * n
+        for x in reach:
+            for f in ntk.fanins(x):
+                refs[f >> 1] += 1
+        refs = [max(1, r) for r in refs]
+
+        def select(m: int, required: Optional[List[List[float]]]) -> None:
+            """(Re)select the best implementation of both phases of node m."""
+            cand: List[List[Tuple[Tuple[float, float], _Impl, float, float]]] = [[], []]
+            for cut in self.cuts[m]:
+                if len(cut.leaves) == 1 and cut.leaves[0] == m:
+                    continue
+                base_tt = cut.tt
+                for phase in (0, 1):
+                    tt = base_tt if phase == 0 else ~base_tt
+                    small, sup = tt.min_base()
+                    if small.num_vars == 0:
+                        # the node is constant under this phase: zero-cost tie
+                        cand[phase].append((
+                            (0.0, 0.0), _Impl("const", value=small.is_const1()),
+                            0.0, 0.0,
+                        ))
+                        continue
+                    leaves = [cut.leaves[s] for s in sup]
+                    for match in self.table.lookup(small):
+                        arr = 0.0
+                        fl = match.cell.area
+                        ok = True
+                        for pin in range(match.cell.num_pins):
+                            leaf = leaves[match.leaf_of_pin[pin]]
+                            lphase = int(match.pin_phases[pin])
+                            la = arrival[leaf][lphase]
+                            if la == INF:
+                                ok = False
+                                break
+                            arr = max(arr, la + match.cell.pin_delays[pin])
+                            fl += flow[leaf][lphase] / refs[leaf]
+                        if not ok:
+                            continue
+                        if required is not None and arr > required[m][phase] + 1e-9:
+                            continue
+                        key = (arr, fl) if self.objective == "delay" else (fl, arr)
+                        cand[phase].append((key, _Impl("match", cut, match), arr, fl))
+            for phase in (0, 1):
+                if cand[phase]:
+                    key, best, arr, fl = min(cand[phase], key=lambda t: t[0])
+                    impl[m][phase] = best
+                    arrival[m][phase] = arr
+                    flow[m][phase] = fl
+                elif impl[m][phase] is None:
+                    arrival[m][phase] = INF
+                    flow[m][phase] = INF
+                # else: keep the previous implementation — leaf arrivals may
+                # have drifted past the required time during recovery passes,
+                # but an already-selected match must never be discarded
+            # inverter relaxation: implement the weaker phase off the stronger
+            for phase in (0, 1):
+                o = 1 - phase
+                if arrival[m][o] == INF:
+                    continue
+                via_arr = arrival[m][o] + inv_d
+                via_fl = flow[m][o] + inv_a
+                if required is not None and via_arr > required[m][phase] + 1e-9:
+                    continue
+                cur = (arrival[m][phase], flow[m][phase]) if self.objective == "delay" \
+                    else (flow[m][phase], arrival[m][phase])
+                new = (via_arr, via_fl) if self.objective == "delay" else (via_fl, via_arr)
+                if impl[m][phase] is None or new < cur:
+                    # never let both phases be inverters of each other
+                    if impl[m][o] is not None and impl[m][o].kind == "inv":
+                        continue
+                    impl[m][phase] = _Impl("inv")
+                    arrival[m][phase] = via_arr
+                    flow[m][phase] = via_fl
+
+        # ---- pass 1: delay (or plain flow for area objective) ----
+        for m in gate_nodes:
+            select(m, None)
+            if impl[m][0] is None and impl[m][1] is None:
+                raise RuntimeError(f"no library match for node {m}; library too weak")
+
+        required = self._compute_required(arrival, impl)
+
+        # ---- area-flow recovery passes ----
+        for _ in range(self.flow_iterations):
+            refs = self._cover_refs(impl)
+            saved_objective = self.objective
+            self.objective = "area"  # flow-first selection under required
+            for m in gate_nodes:
+                select(m, required)
+            self.objective = saved_objective
+            required = self._compute_required(arrival, impl)
+
+        # ---- exact local area recovery ----
+        for _ in range(self.exact_iterations):
+            self._exact_area_pass(gate_nodes, arrival, impl, required)
+            required = self._compute_required(arrival, impl)
+
+        return self._derive(impl)
+
+    # -- exact-area machinery -------------------------------------------------
+
+    def _phase_refs(self, impl) -> List[List[int]]:
+        """Per-(node, phase) reference counts of the current cover."""
+        ntk = self.ntk
+        refs = [[0, 0] for _ in range(ntk.num_nodes())]
+        stack = []
+        for node, phase in self._po_requirements():
+            refs[node][phase] += 1
+            if refs[node][phase] == 1:
+                stack.append((node, phase))
+        while stack:
+            node, phase = stack.pop()
+            if not ntk.is_gate(node):
+                continue
+            im = impl[node][phase]
+            if im is None or im.kind == "const":
+                continue
+            if im.kind == "inv":
+                refs[node][1 - phase] += 1
+                if refs[node][1 - phase] == 1:
+                    stack.append((node, 1 - phase))
+                continue
+            leaves, match = self._match_leaves(im)
+            for pin in range(match.cell.num_pins):
+                leaf = leaves[match.leaf_of_pin[pin]]
+                lp = int(match.pin_phases[pin])
+                refs[leaf][lp] += 1
+                if refs[leaf][lp] == 1:
+                    stack.append((leaf, lp))
+        return refs
+
+    def _area_of(self, node: int, phase: int, impl) -> float:
+        """Cell area charged when (node, phase) first becomes referenced."""
+        ntk = self.ntk
+        if ntk.is_const(node):
+            return 0.0
+        if ntk.is_pi(node):
+            return self.inv.area if phase else 0.0
+        im = impl[node][phase]
+        if im is None:
+            return INF
+        if im.kind == "const":
+            return 0.0
+        return self.inv.area if im.kind == "inv" else im.match.cell.area
+
+    def _node_ref(self, node: int, phase: int, refs, impl) -> float:
+        """Add one reference to (node, phase); returns newly materialized area."""
+        refs[node][phase] += 1
+        if refs[node][phase] > 1:
+            return 0.0
+        area = self._area_of(node, phase, impl)
+        if self.ntk.is_gate(node):
+            area += self._inputs_ref(node, phase, refs, impl)
+        return area
+
+    def _node_deref(self, node: int, phase: int, refs, impl) -> float:
+        refs[node][phase] -= 1
+        if refs[node][phase] > 0:
+            return 0.0
+        area = self._area_of(node, phase, impl)
+        if self.ntk.is_gate(node):
+            area += self._inputs_deref(node, phase, refs, impl)
+        return area
+
+    def _inputs_ref(self, node: int, phase: int, refs, impl) -> float:
+        im = impl[node][phase]
+        if im.kind == "const":
+            return 0.0
+        if im.kind == "inv":
+            return self._node_ref(node, 1 - phase, refs, impl)
+        leaves, match = self._match_leaves(im)
+        area = 0.0
+        for pin in range(match.cell.num_pins):
+            leaf = leaves[match.leaf_of_pin[pin]]
+            area += self._node_ref(leaf, int(match.pin_phases[pin]), refs, impl)
+        return area
+
+    def _inputs_deref(self, node: int, phase: int, refs, impl) -> float:
+        im = impl[node][phase]
+        if im.kind == "const":
+            return 0.0
+        if im.kind == "inv":
+            return self._node_deref(node, 1 - phase, refs, impl)
+        leaves, match = self._match_leaves(im)
+        area = 0.0
+        for pin in range(match.cell.num_pins):
+            leaf = leaves[match.leaf_of_pin[pin]]
+            area += self._node_deref(leaf, int(match.pin_phases[pin]), refs, impl)
+        return area
+
+    def _exact_area_pass(self, gate_nodes, arrival, impl, required) -> None:
+        """Re-select implementations by exact local area under required times."""
+        refs = self._phase_refs(impl)
+        for m in gate_nodes:
+            for phase in (0, 1):
+                if refs[m][phase] == 0 or impl[m][phase] is None:
+                    continue
+                if impl[m][phase].kind in ("inv", "const"):
+                    continue  # inverters re-decide through their base phase
+                old = impl[m][phase]
+                old_arr = arrival[m][phase]
+                # release the current implementation's input charges
+                self._inputs_deref(m, phase, refs, impl)
+                best_key = (old.match.cell.area + self._trial_area(m, phase, old, refs, impl),
+                            old_arr)
+                best_impl, best_arr = old, old_arr
+                for cut in self.cuts[m]:
+                    if len(cut.leaves) == 1 and cut.leaves[0] == m:
+                        continue
+                    tt = cut.tt if phase == 0 else ~cut.tt
+                    small, sup = tt.min_base()
+                    if small.num_vars == 0:
+                        continue
+                    leaves = [cut.leaves[s] for s in sup]
+                    for match in self.table.lookup(small):
+                        arr = 0.0
+                        ok = True
+                        for pin in range(match.cell.num_pins):
+                            leaf = leaves[match.leaf_of_pin[pin]]
+                            la = arrival[leaf][int(match.pin_phases[pin])]
+                            if la == INF:
+                                ok = False
+                                break
+                            arr = max(arr, la + match.cell.pin_delays[pin])
+                        if not ok or arr > required[m][phase] + 1e-9:
+                            continue
+                        cand = _Impl("match", cut, match)
+                        gained = match.cell.area + self._trial_area(m, phase, cand, refs, impl)
+                        key = (gained, arr)
+                        if key < best_key:
+                            best_key = key
+                            best_impl, best_arr = cand, arr
+                impl[m][phase] = best_impl
+                arrival[m][phase] = best_arr
+                self._inputs_ref(m, phase, refs, impl)
+
+    def _trial_area(self, node: int, phase: int, cand: "_Impl", refs, impl) -> float:
+        """Input area a candidate implementation would materialize."""
+        saved = impl[node][phase]
+        impl[node][phase] = cand
+        area = self._inputs_ref(node, phase, refs, impl)
+        self._inputs_deref(node, phase, refs, impl)
+        impl[node][phase] = saved
+        return area
+
+    # ------------------------------------------------------------------ #
+
+    def _po_requirements(self) -> List[Tuple[int, int]]:
+        out = []
+        for p in self.ntk.pos:
+            node, phase = p >> 1, p & 1
+            if self.ntk.is_gate(node) or self.ntk.is_pi(node):
+                out.append((node, phase))
+        return out
+
+    def _compute_required(self, arrival, impl) -> List[List[float]]:
+        ntk = self.ntk
+        n = ntk.num_nodes()
+        required = [[INF, INF] for _ in range(n)]
+        po_req = self._po_requirements()
+        if self.objective != "delay":
+            return required
+        target = 0.0
+        for node, phase in po_req:
+            if arrival[node][phase] < INF:
+                target = max(target, arrival[node][phase])
+        for node, phase in po_req:
+            required[node][phase] = min(required[node][phase], target)
+        for m in reversed(self.order):
+            if not ntk.is_gate(m):
+                continue
+            for phase in (0, 1):
+                req = required[m][phase]
+                if req == INF or impl[m][phase] is None:
+                    continue
+                im = impl[m][phase]
+                if im.kind == "const":
+                    continue
+                if im.kind == "inv":
+                    o = 1 - phase
+                    required[m][o] = min(required[m][o], req - self.inv.max_delay())
+                else:
+                    leaves, match = self._match_leaves(im)
+                    for pin in range(match.cell.num_pins):
+                        leaf = leaves[match.leaf_of_pin[pin]]
+                        lp = int(match.pin_phases[pin])
+                        required[leaf][lp] = min(
+                            required[leaf][lp], req - match.cell.pin_delays[pin]
+                        )
+        return required
+
+    def _match_leaves(self, im: _Impl) -> Tuple[List[int], Match]:
+        tt = im.cut.tt
+        small, sup = tt.min_base()
+        leaves = [im.cut.leaves[s] for s in sup]
+        return leaves, im.match
+
+    def _cover_refs(self, impl) -> List[int]:
+        """Combined (both-phase) reference counts of the current cover."""
+        ntk = self.ntk
+        refs = [0] * ntk.num_nodes()
+        seen = set()
+        stack = []
+        for node, phase in self._po_requirements():
+            refs[node] += 1
+            if ntk.is_gate(node):
+                stack.append((node, phase))
+        while stack:
+            node, phase = stack.pop()
+            if (node, phase) in seen:
+                continue
+            seen.add((node, phase))
+            im = impl[node][phase]
+            if im is None or im.kind == "const":
+                continue
+            if im.kind == "inv":
+                refs[node] += 1
+                stack.append((node, 1 - phase))
+                continue
+            leaves, match = self._match_leaves(im)
+            for pin in range(match.cell.num_pins):
+                leaf = leaves[match.leaf_of_pin[pin]]
+                refs[leaf] += 1
+                if ntk.is_gate(leaf):
+                    stack.append((leaf, int(match.pin_phases[pin])))
+        return [max(1, r) for r in refs]
+
+    def _derive(self, impl) -> CellNetlist:
+        ntk = self.ntk
+        netlist = CellNetlist(self.lib.name)
+        net_of: Dict[Tuple[int, int], int] = {(0, 0): netlist.const0, (0, 1): netlist.const1}
+        for name, pi in zip(ntk.pi_names, ntk.pis):
+            net_of[(pi, 0)] = netlist.create_pi(name)
+
+        def materialize(node: int, phase: int) -> int:
+            key = (node, phase)
+            if key in net_of:
+                return net_of[key]
+            if ntk.is_pi(node):  # phase must be 1 here
+                net = netlist.add_cell(self.inv, (net_of[(node, 0)],))
+                net_of[key] = net
+                return net
+            im = impl[node][phase]
+            if im is None:
+                raise RuntimeError(f"phase {phase} of node {node} not implemented")
+            if im.kind == "const":
+                net = netlist.const1 if im.value else netlist.const0
+                net_of[key] = net
+                return net
+            if im.kind == "inv":
+                src = materialize(node, 1 - phase)
+                net = netlist.add_cell(self.inv, (src,))
+                net_of[key] = net
+                return net
+            leaves, match = self._match_leaves(im)
+            pins = []
+            for pin in range(match.cell.num_pins):
+                leaf = leaves[match.leaf_of_pin[pin]]
+                pins.append(materialize(leaf, int(match.pin_phases[pin])))
+            net = netlist.add_cell(match.cell, tuple(pins))
+            net_of[key] = net
+            return net
+
+        # iterative wrapper to avoid deep recursion on long chains
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 4 * ntk.num_nodes() + 1000))
+        try:
+            for p, name in zip(ntk.pos, ntk.po_names):
+                node, phase = p >> 1, p & 1
+                netlist.create_po(materialize(node, phase), name)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        return netlist
+
+
+def asic_map(subject: Union[LogicNetwork, ChoiceNetwork],
+             library: Optional[Library] = None, objective: str = "delay",
+             cut_limit: int = 8, flow_iterations: int = 2,
+             exact_iterations: int = 2) -> CellNetlist:
+    """Map a (choice) network onto a standard-cell library.
+
+    Returns a :class:`CellNetlist`; ``netlist.area()`` and
+    ``netlist.delay()`` report the Table-I metrics.
+    """
+    return AsicMapper(subject, library=library, objective=objective,
+                      cut_limit=cut_limit, flow_iterations=flow_iterations,
+                      exact_iterations=exact_iterations).run()

@@ -1,0 +1,102 @@
+"""Graph mapping: mapping-based logic optimization / representation conversion.
+
+Implements the versatile-mapping idea (Calvino et al., ASP-DAC'22) the paper
+uses both as its "Graph Map" baseline and as the host of the MCH extension
+(Section III-C): the subject network (optionally a mixed choice network) is
+covered with cuts exactly like in LUT mapping, but each selected cut is
+*resynthesized* into a target representation, with the cut cost model taken
+from the target representation's NPN structure database.  The output is a new
+AIG/XAG/MIG/XMG rather than a LUT netlist.
+
+Iterating ``graph_map`` to a fixpoint is a logic optimization loop; handing
+it an MCH choice network lets it jump out of the single-representation local
+optima, which is the paper's Fig. 6 experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type, Union
+
+from ..core.choice import ChoiceNetwork
+from ..cuts.cut import Cut
+from ..networks.base import LogicNetwork
+from ..synthesis.npn_db import NpnCostCache
+from ..synthesis.factoring import synthesize_tt
+from .lut_mapper import CutMapper
+
+__all__ = ["graph_map", "graph_map_iterate"]
+
+
+def graph_map(subject: Union[LogicNetwork, ChoiceNetwork], target_cls: Type[LogicNetwork],
+              objective: str = "area", k: int = 4, cut_limit: int = 8,
+              flow_iterations: int = 1, exact_iterations: int = 1,
+              cache: Optional[NpnCostCache] = None) -> LogicNetwork:
+    """Remap ``subject`` into a fresh network of class ``target_cls``.
+
+    ``objective='area'`` minimizes the estimated target gate count;
+    ``objective='delay'`` minimizes the estimated target depth and recovers
+    gates under required times.
+    """
+    cost_cache = cache if cache is not None and cache.rep_cls is target_cls \
+        else NpnCostCache(target_cls)
+    synth_objective = "area" if objective == "area" else "level"
+
+    def cut_cost(cut: Cut) -> float:
+        if len(cut.leaves) <= 1:
+            return 0.0
+        _, gates, _ = cost_cache.best_method(cut.tt, synth_objective)
+        return float(gates)
+
+    def cut_delay(cut: Cut) -> int:
+        if len(cut.leaves) <= 1:
+            return 0
+        _, _, depth = cost_cache.best_method(cut.tt, synth_objective)
+        return max(depth, 1) if cut.tt.support() else 0
+
+    mapper = CutMapper(
+        subject, k=k, cut_limit=cut_limit, objective=objective,
+        flow_iterations=flow_iterations, exact_iterations=exact_iterations,
+        cut_cost_fn=cut_cost, cut_delay_fn=cut_delay,
+    )
+    cover = mapper.run()
+
+    target = target_cls()
+    mapping: Dict[int, int] = {0: target.const0}
+    for name, n in zip(cover.pi_names, cover.pi_nodes):
+        mapping[n] = target.create_pi(name)
+    for m in cover.order:
+        cut = cover.selection[m]
+        leaf_lits = [mapping[l] for l in cut.leaves]
+        method, _, _ = cost_cache.best_method(cut.tt, synth_objective)
+        mapping[m] = synthesize_tt(target, cut.tt, leaf_lits, method=method)
+    for p, name in zip(cover.po_literals, cover.po_names):
+        target.create_po(mapping[p >> 1] ^ (p & 1), name)
+    return target
+
+
+def graph_map_iterate(ntk: LogicNetwork, target_cls: Type[LogicNetwork],
+                      objective: str = "area", k: int = 4, cut_limit: int = 8,
+                      max_rounds: int = 10) -> LogicNetwork:
+    """Iterate graph mapping until no further improvement (a local optimum).
+
+    This is the paper's "Baseline" protocol in the Fig. 6 experiment:
+    repeatedly remap until gate count (area) or depth (delay) stops
+    improving.
+    """
+    cache = NpnCostCache(target_cls)
+    current = graph_map(ntk, target_cls, objective=objective, k=k,
+                        cut_limit=cut_limit, cache=cache)
+
+    def score(net: LogicNetwork):
+        return (net.num_gates(), net.depth()) if objective == "area" \
+            else (net.depth(), net.num_gates())
+
+    best = score(current)
+    for _ in range(max_rounds - 1):
+        nxt = graph_map(current, target_cls, objective=objective, k=k,
+                        cut_limit=cut_limit, cache=cache)
+        s = score(nxt)
+        if s >= best:
+            break
+        current, best = nxt, s
+    return current

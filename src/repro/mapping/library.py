@@ -1,0 +1,281 @@
+"""Standard-cell library model and genlib parsing.
+
+A :class:`Cell` is a single-output combinational gate with a truth table,
+an area, and one propagation delay per input pin (fixed, load-independent —
+the usual academic simplification of an NLDM table).  A :class:`Library` is a
+cell collection with an inverter and optional buffer singled out.
+
+The genlib grammar supported is the classic SIS/ABC subset::
+
+    GATE <name> <area> <output>=<expr>;  PIN * <phase> 1 999 <rise> <slope> <fall> <slope>
+    GATE <name> <area> <output>=<expr>;  PIN <pin> ...
+
+Expressions use ``!`` (NOT), ``*`` (AND), ``+`` (OR), ``^`` (XOR), parentheses
+and the constants ``CONST0`` / ``CONST1``.  Pin order in the truth table is
+the order of first appearance in the expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..truth.truth_table import TruthTable
+
+__all__ = ["Cell", "Library", "parse_genlib", "write_genlib", "parse_expression"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A combinational standard cell."""
+
+    name: str
+    function: TruthTable       # over pins, pin i = variable i
+    area: float                # µm²
+    pin_delays: Tuple[float, ...]  # ps, pin -> output
+    pin_names: Tuple[str, ...]
+
+    @property
+    def num_pins(self) -> int:
+        return self.function.num_vars
+
+    def max_delay(self) -> float:
+        return max(self.pin_delays) if self.pin_delays else 0.0
+
+    def __repr__(self) -> str:
+        return f"Cell({self.name}, pins={self.num_pins}, area={self.area})"
+
+
+class Library:
+    """A collection of cells with convenience accessors."""
+
+    def __init__(self, name: str, cells: Sequence[Cell]):
+        self.name = name
+        self.cells: List[Cell] = list(cells)
+        self._by_name: Dict[str, Cell] = {c.name: c for c in self.cells}
+        if len(self._by_name) != len(self.cells):
+            raise ValueError("duplicate cell names in library")
+        self.inverter = self._cheapest(lambda c: c.num_pins == 1 and c.function.bits == 0b01)
+        self.buffer = self._cheapest(lambda c: c.num_pins == 1 and c.function.bits == 0b10)
+        if self.inverter is None:
+            raise ValueError("library must contain an inverter")
+
+    def _cheapest(self, pred) -> Optional[Cell]:
+        matches = [c for c in self.cells if pred(c)]
+        return min(matches, key=lambda c: c.area) if matches else None
+
+    def cell(self, name: str) -> Cell:
+        return self._by_name[name]
+
+    @property
+    def max_pins(self) -> int:
+        return max(c.num_pins for c in self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def __repr__(self) -> str:
+        return f"<Library {self.name}: {len(self.cells)} cells, max {self.max_pins} pins>"
+
+
+# --------------------------------------------------------------------------- #
+# boolean expression parsing (genlib)                                          #
+# --------------------------------------------------------------------------- #
+
+
+class _ExprParser:
+    """Recursive-descent parser for genlib gate expressions."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.pin_order: List[str] = []
+
+    def _peek(self) -> str:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _ident(self) -> str:
+        self._peek()
+        start = self.pos
+        while self.pos < len(self.text) and (self.text[self.pos].isalnum() or self.text[self.pos] in "_[]."):
+            self.pos += 1
+        if start == self.pos:
+            raise ValueError(f"expected identifier at {self.text[start:]!r}")
+        return self.text[start:self.pos]
+
+    # grammar: or_expr := and_expr (('+'|'|') and_expr)*
+    #          and_expr := xor_expr (('*'|'&'|juxt) xor_expr)*
+    #          xor_expr := atom ('^' atom)*
+    #          atom := '!' atom | '(' or_expr ')' | ident ["'"]
+
+    def parse(self):
+        node = self._or()
+        if self._peek():
+            raise ValueError(f"trailing input {self.text[self.pos:]!r}")
+        return node
+
+    def _or(self):
+        node = self._and()
+        while self._peek() and self._peek() in "+|":
+            self.pos += 1
+            node = ("or", node, self._and())
+        return node
+
+    def _and(self):
+        node = self._xor()
+        while True:
+            c = self._peek()
+            if c and c in "*&":
+                self.pos += 1
+                node = ("and", node, self._xor())
+            elif c and (c.isalnum() or c in "!(_"):
+                node = ("and", node, self._xor())
+            else:
+                return node
+
+    def _xor(self):
+        node = self._atom()
+        while self._peek() == "^":
+            self.pos += 1
+            node = ("xor", node, self._atom())
+        return node
+
+    def _atom(self):
+        c = self._peek()
+        if c == "!":
+            self.pos += 1
+            return ("not", self._atom())
+        if c == "(":
+            self.pos += 1
+            node = self._or()
+            if self._peek() != ")":
+                raise ValueError("unbalanced parenthesis")
+            self.pos += 1
+            return self._postfix(node)
+        name = self._ident()
+        if name in ("CONST0", "CONST1"):
+            return self._postfix(("const", name == "CONST1"))
+        if name not in self.pin_order:
+            self.pin_order.append(name)
+        return self._postfix(("var", name))
+
+    def _postfix(self, node):
+        if self._peek() == "'":
+            self.pos += 1
+            return ("not", node)
+        return node
+
+
+def parse_expression(text: str) -> Tuple[TruthTable, List[str]]:
+    """Parse a genlib expression; returns (truth table, pin name order)."""
+    parser = _ExprParser(text)
+    ast = parser.parse()
+    pins = parser.pin_order
+    n = len(pins)
+    index = {p: i for i, p in enumerate(pins)}
+
+    def ev(node) -> TruthTable:
+        kind = node[0]
+        if kind == "const":
+            return TruthTable.const(n, node[1])
+        if kind == "var":
+            return TruthTable.var(n, index[node[1]])
+        if kind == "not":
+            return ~ev(node[1])
+        a, b = ev(node[1]), ev(node[2])
+        if kind == "and":
+            return a & b
+        if kind == "or":
+            return a | b
+        return a ^ b
+
+    return ev(ast), pins
+
+
+def parse_genlib(text: str, name: str = "genlib") -> Library:
+    """Parse genlib text into a :class:`Library`."""
+    cells: List[Cell] = []
+    # normalize: strip comments, join continuation lines
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            lines.append(line)
+    blob = " ".join(lines)
+    chunks = [c.strip() for c in blob.split("GATE") if c.strip()]
+    for chunk in chunks:
+        head, _, pin_part = chunk.partition("PIN")
+        head = head.strip().rstrip(";").strip()
+        # head: <name> <area> <out>=<expr>
+        fields = head.split(None, 2)
+        if len(fields) != 3:
+            raise ValueError(f"malformed GATE line: {head!r}")
+        cell_name, area_s, assign = fields
+        _, _, expr = assign.partition("=")
+        if not expr:
+            raise ValueError(f"missing output assignment in {head!r}")
+        tt, pins = parse_expression(expr.strip().rstrip(";"))
+        # pins: genlib allows one PIN * line for all pins or one per pin
+        delays = {p: 1.0 for p in pins}
+        if pin_part:
+            for spec in ("PIN " + pin_part).split("PIN"):
+                spec = spec.strip().rstrip(";").strip()
+                if not spec:
+                    continue
+                toks = spec.split()
+                pin_name = toks[0]
+                rise = float(toks[4]) if len(toks) > 4 else 1.0
+                fall = float(toks[6]) if len(toks) > 6 else rise
+                d = max(rise, fall)
+                if pin_name == "*":
+                    delays = {p: d for p in pins}
+                else:
+                    delays[pin_name] = d
+        cells.append(
+            Cell(
+                name=cell_name,
+                function=tt,
+                area=float(area_s),
+                pin_delays=tuple(delays[p] for p in pins),
+                pin_names=tuple(pins),
+            )
+        )
+    return Library(name, cells)
+
+
+def write_genlib(lib: Library) -> str:
+    """Serialize a library to genlib text (SOP form of each cell function)."""
+    from ..truth.isop import cube_literals, isop
+
+    out = [f"# library {lib.name}"]
+    for cell in lib.cells:
+        cubes = isop(cell.function)
+        if not cubes:
+            expr = "CONST0"
+        elif cubes == [(0, 0)]:
+            expr = "CONST1"
+        else:
+            terms = []
+            appearance = []
+            for cube in cubes:
+                lits = []
+                for v, neg in cube_literals(cube):
+                    lits.append(("!" if neg else "") + cell.pin_names[v])
+                    if v not in appearance:
+                        appearance.append(v)
+                terms.append("*".join(lits) if lits else "CONST1")
+            expr = "+".join(terms)
+            if appearance != sorted(appearance) or len(appearance) != cell.num_pins:
+                # The parser assigns variables by first appearance; force the
+                # declared pin order with a tautological prefix.
+                prefix = "*".join(f"({p}+!{p})" for p in cell.pin_names)
+                expr = f"{prefix}*({expr})"
+        out.append(f"GATE {cell.name} {cell.area} O={expr};")
+        for pin, d in zip(cell.pin_names, cell.pin_delays):
+            out.append(f"  PIN {pin} UNKNOWN 1 999 {d} 0.0 {d} 0.0")
+    return "\n".join(out) + "\n"

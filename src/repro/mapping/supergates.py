@@ -1,0 +1,144 @@
+"""Supergate generation: two-level cell compositions for richer matching.
+
+Boolean matching with single cells misses many cut functions that a pair of
+cells implements well (Mishchenko et al., "Technology mapping with Boolean
+matching, supergates and choices", 2005 — reference [19] of the paper).
+This module composes an *outer* cell with one *inner* cell plugged into one
+of its pins, producing virtual :class:`Supergate` cells whose area is the
+sum and whose pin delays chain through the inner cell.  The ASIC mapper
+treats supergates like ordinary cells; the netlist deriver expands them
+back into their two component instances.
+
+Generation is bounded: compositions are capped at ``max_pins`` inputs, and
+per resulting function only the cheapest few supergates per NPN class are
+kept to contain the match-table size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..truth.truth_table import TruthTable
+from ..cuts.enumeration import expand_tt
+from .library import Cell, Library
+
+__all__ = ["Supergate", "expand_with_supergates"]
+
+
+@dataclass(frozen=True)
+class Supergate(Cell):
+    """A virtual cell made of an outer cell with an inner cell on one pin.
+
+    Pin order of the supergate: the inner cell's pins first, then the outer
+    cell's remaining pins in order (skipping ``position``).
+    """
+
+    outer: Cell = None
+    inner: Cell = None
+    position: int = 0  # outer pin driven by the inner cell's output
+
+
+def _compose(outer: Cell, inner: Cell, position: int) -> Optional[Supergate]:
+    m_in = inner.num_pins
+    m_out = outer.num_pins
+    nv = m_in + m_out - 1
+    # variable layout: inner pins -> vars [0, m_in); outer pins (minus the
+    # plugged one) -> vars [m_in, nv)
+    inner_bits = expand_tt(inner.function, list(range(m_in)), nv)
+    inner_tt = TruthTable(nv, inner_bits)
+    outer_vars: List[TruthTable] = []
+    next_var = m_in
+    for pin in range(m_out):
+        if pin == position:
+            outer_vars.append(inner_tt)
+        else:
+            outer_vars.append(TruthTable.var(nv, next_var))
+            next_var += 1
+    # evaluate the outer function over (possibly composed) pin functions
+    result = TruthTable.const(nv, False)
+    for minterm in range(1 << m_out):
+        if not outer.function.get_bit(minterm):
+            continue
+        term = TruthTable.const(nv, True)
+        for pin in range(m_out):
+            v = outer_vars[pin]
+            term = term & (v if (minterm >> pin) & 1 else ~v)
+        result = result | term
+    if result.support_size() < nv:
+        return None  # degenerate composition (some input vanishes)
+
+    delays = []
+    for i in range(m_in):
+        delays.append(inner.pin_delays[i] + outer.pin_delays[position])
+    next_pin = 0
+    names = [f"I{i}" for i in range(m_in)]
+    for pin in range(m_out):
+        if pin == position:
+            continue
+        delays.append(outer.pin_delays[pin])
+        names.append(f"O{next_pin}")
+        next_pin += 1
+
+    return Supergate(
+        name=f"{outer.name}__{inner.name}@{position}",
+        function=result,
+        area=outer.area + inner.area,
+        pin_delays=tuple(delays),
+        pin_names=tuple(names),
+        outer=outer,
+        inner=inner,
+        position=position,
+    )
+
+
+def expand_with_supergates(lib: Library, max_pins: int = 4,
+                           per_class: int = 2) -> Library:
+    """Return a new library with two-level supergates appended.
+
+    ``per_class`` limits how many supergates are kept per (semi-canonical)
+    NPN class of the resulting function, preferring smaller area.
+    """
+    from ..truth.npn import canonicalize, semi_canonicalize
+
+    singles: Dict[Tuple[int, int], float] = {}
+    for cell in lib:
+        if cell.num_pins <= 4:
+            canon, _ = canonicalize(cell.function)
+            key = (cell.num_pins, canon.bits)
+            singles[key] = min(singles.get(key, float("inf")), cell.area)
+
+    candidates: List[Supergate] = []
+    for outer in lib:
+        if outer.num_pins < 2:
+            continue
+        for inner in lib:
+            if inner.num_pins < 2:
+                continue
+            nv = inner.num_pins + outer.num_pins - 1
+            if nv > max_pins:
+                continue
+            for position in range(outer.num_pins):
+                sg = _compose(outer, inner, position)
+                if sg is not None:
+                    candidates.append(sg)
+
+    # keep only the cheapest few per NPN class, and only classes not already
+    # covered by a cheaper single cell
+    buckets: Dict[Tuple[int, int], List[Supergate]] = {}
+    for sg in candidates:
+        if sg.function.num_vars <= 4:
+            canon, _ = canonicalize(sg.function)
+        else:
+            canon, _ = semi_canonicalize(sg.function)
+        key = (sg.function.num_vars, canon.bits)
+        if key in singles and singles[key] <= sg.area:
+            continue
+        buckets.setdefault(key, []).append(sg)
+
+    kept: List[Supergate] = []
+    for key, sgs in buckets.items():
+        sgs.sort(key=lambda s: (s.area, s.max_delay()))
+        kept.extend(sgs[:per_class])
+
+    return Library(f"{lib.name}+supergates", list(lib.cells) + kept)

@@ -1,0 +1,14 @@
+"""And-Inverter Graphs: two-input ANDs with complemented edges."""
+
+from __future__ import annotations
+
+from .base import GateType, LogicNetwork
+
+__all__ = ["Aig"]
+
+
+class Aig(LogicNetwork):
+    """AIG — the baseline representation of the synthesis flow."""
+
+    ALLOWED = frozenset({GateType.AND})
+    rep_name = "AIG"

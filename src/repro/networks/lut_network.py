@@ -1,0 +1,154 @@
+"""Mapped K-LUT networks (the result of FPGA technology mapping)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..truth.truth_table import TruthTable, var_mask
+from .base import LogicNetwork
+
+__all__ = ["LutNetwork"]
+
+
+class LutNetwork:
+    """A network of K-input lookup tables.
+
+    Node numbering mirrors :class:`LogicNetwork`: node 0 is constant 0, then
+    PIs, then LUTs in topological order.  LUT fanins are plain node indices
+    (complementation is absorbed into the LUT truth tables); POs are
+    ``(node, phase)`` pairs.
+    """
+
+    def __init__(self, k: int):
+        self.k = k
+        self._is_lut: List[bool] = [False]
+        self._fanins: List[Tuple[int, ...]] = [()]
+        self._tts: List[Optional[TruthTable]] = [None]
+        self._pis: List[int] = []
+        self._pi_names: List[str] = []
+        self._pos: List[Tuple[int, bool]] = []
+        self._po_names: List[str] = []
+
+    # -- construction --------------------------------------------------------
+
+    def create_pi(self, name: Optional[str] = None) -> int:
+        node = len(self._is_lut)
+        self._is_lut.append(False)
+        self._fanins.append(())
+        self._tts.append(None)
+        self._pis.append(node)
+        self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        return node
+
+    def create_lut(self, fanins: Sequence[int], tt: TruthTable) -> int:
+        if len(fanins) != tt.num_vars:
+            raise ValueError("fanin count must match truth-table arity")
+        if len(fanins) > self.k:
+            raise ValueError(f"LUT exceeds K={self.k} inputs")
+        if any(f >= len(self._is_lut) for f in fanins):
+            raise ValueError("fanin refers to unknown node")
+        node = len(self._is_lut)
+        self._is_lut.append(True)
+        self._fanins.append(tuple(fanins))
+        self._tts.append(tt)
+        return node
+
+    def create_po(self, node: int, phase: bool = False, name: Optional[str] = None) -> None:
+        self._pos.append((node, phase))
+        self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def pis(self) -> List[int]:
+        return list(self._pis)
+
+    @property
+    def pos(self) -> List[Tuple[int, bool]]:
+        return list(self._pos)
+
+    def num_pis(self) -> int:
+        return len(self._pis)
+
+    def num_pos(self) -> int:
+        return len(self._pos)
+
+    def num_luts(self) -> int:
+        return sum(1 for x in self._is_lut if x)
+
+    def fanins(self, node: int) -> Tuple[int, ...]:
+        return self._fanins[node]
+
+    def lut_function(self, node: int) -> TruthTable:
+        tt = self._tts[node]
+        if tt is None:
+            raise ValueError(f"node {node} is not a LUT")
+        return tt
+
+    def is_lut(self, node: int) -> bool:
+        return self._is_lut[node]
+
+    def levels(self) -> List[int]:
+        lev = [0] * len(self._is_lut)
+        for n in range(len(self._is_lut)):
+            if self._is_lut[n] and self._fanins[n]:
+                lev[n] = 1 + max(lev[f] for f in self._fanins[n])
+        return lev
+
+    def depth(self) -> int:
+        lev = self.levels()
+        return max((lev[n] for n, _ in self._pos), default=0)
+
+    # -- simulation / conversion ------------------------------------------------
+
+    def simulate_patterns(self, pi_patterns: Sequence[int], mask: int) -> List[int]:
+        vals = [0] * len(self._is_lut)
+        for i, n in enumerate(self._pis):
+            vals[n] = pi_patterns[i] & mask
+        for n in range(len(self._is_lut)):
+            if not self._is_lut[n]:
+                continue
+            tt = self._tts[n]
+            fis = self._fanins[n]
+            out = 0
+            for m in range(1 << len(fis)):
+                if tt.get_bit(m):
+                    term = mask
+                    for i, f in enumerate(fis):
+                        term &= vals[f] if (m >> i) & 1 else (vals[f] ^ mask)
+                    out |= term
+            vals[n] = out
+        return vals
+
+    def simulate(self, assignment: Sequence[bool]) -> List[bool]:
+        vals = self.simulate_patterns([1 if b else 0 for b in assignment], 1)
+        return [bool(vals[n] ^ int(ph)) for n, ph in self._pos]
+
+    def simulate_truth_tables(self) -> List[TruthTable]:
+        n = len(self._pis)
+        if n > 20:
+            raise ValueError("too many PIs for exhaustive simulation")
+        mask = (1 << (1 << n)) - 1 if n else 1
+        patterns = [var_mask(n, i) for i in range(n)]
+        vals = self.simulate_patterns(patterns, mask)
+        return [TruthTable(n, vals[node] ^ (mask if ph else 0)) for node, ph in self._pos]
+
+    def to_logic_network(self, cls: Type[LogicNetwork], method: str = "dsd") -> LogicNetwork:
+        """Resynthesize every LUT into a logic network of class ``cls``."""
+        from ..synthesis.factoring import synthesize_tt
+
+        ntk = cls()
+        mapping: Dict[int, int] = {0: ntk.const0}
+        for name, n in zip(self._pi_names, self._pis):
+            mapping[n] = ntk.create_pi(name)
+        for n in range(len(self._is_lut)):
+            if not self._is_lut[n]:
+                continue
+            leaf_lits = [mapping[f] for f in self._fanins[n]]
+            mapping[n] = synthesize_tt(ntk, self._tts[n], leaf_lits, method=method)
+        for (node, ph), name in zip(self._pos, self._po_names):
+            ntk.create_po(mapping[node] ^ int(ph), name)
+        return ntk
+
+    def __repr__(self) -> str:
+        return f"<LutNetwork k={self.k} pis={self.num_pis()} pos={self.num_pos()} luts={self.num_luts()} depth={self.depth()}>"

@@ -1,0 +1,19 @@
+"""Majority-Inverter Graphs: three-input majority gates only.
+
+AND/OR are represented as majority gates with a constant input
+(``AND(a, b) = MAJ(a, b, 0)``, ``OR(a, b) = MAJ(a, b, 1)``), which is the
+one-to-one embedding of an AIG into an MIG used by Algorithm 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from .base import GateType, LogicNetwork
+
+__all__ = ["Mig"]
+
+
+class Mig(LogicNetwork):
+    """MIG (Amaru et al., TCAD'16)."""
+
+    ALLOWED = frozenset({GateType.MAJ})
+    rep_name = "MIG"

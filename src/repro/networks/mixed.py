@@ -1,0 +1,19 @@
+"""Mixed networks: the superset representation that hosts MCH choice nets.
+
+A mixed network may contain every native gate type at once (AND, XOR, MAJ,
+XOR3), so candidates from different representations can coexist as choice
+nodes of the same representative — the heterogeneous half of the Mixed
+Structural Choices operator.
+"""
+
+from __future__ import annotations
+
+from .base import LogicNetwork
+
+__all__ = ["MixedNetwork"]
+
+
+class MixedNetwork(LogicNetwork):
+    """Network allowing all native gate types simultaneously."""
+
+    rep_name = "mixed"

@@ -1,0 +1,14 @@
+"""XOR-AND Graphs: AIG extended with native two-input XOR gates."""
+
+from __future__ import annotations
+
+from .base import GateType, LogicNetwork
+
+__all__ = ["Xag"]
+
+
+class Xag(LogicNetwork):
+    """XAG — captures XOR-rich (arithmetic) structure compactly."""
+
+    ALLOWED = frozenset({GateType.AND, GateType.XOR})
+    rep_name = "XAG"

@@ -1,0 +1,14 @@
+"""XOR-Majority Graphs: three-input majority plus three-input XOR gates."""
+
+from __future__ import annotations
+
+from .base import GateType, LogicNetwork
+
+__all__ = ["Xmg"]
+
+
+class Xmg(LogicNetwork):
+    """XMG (Haaswijk et al., ASP-DAC'17) — MAJ3 + XOR3 with inverters."""
+
+    ALLOWED = frozenset({GateType.MAJ, GateType.XOR3})
+    rep_name = "XMG"

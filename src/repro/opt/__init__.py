@@ -1,0 +1,21 @@
+"""Technology-independent optimization passes and flows."""
+
+from .balancing import balance
+from .equivalence import functional_classes
+from .sweep import sweep
+from .flows import compress2rs, optimize_rounds, resyn2rs
+from .refactoring import refactor
+from .resub import resub
+from .mig_rewriting import mig_depth_rewrite
+
+__all__ = [
+    "balance",
+    "functional_classes",
+    "sweep",
+    "compress2rs",
+    "resyn2rs",
+    "optimize_rounds",
+    "refactor",
+    "resub",
+    "mig_depth_rewrite",
+]

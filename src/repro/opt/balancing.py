@@ -1,0 +1,71 @@
+"""Tree balancing (the classic ``balance`` pass).
+
+Flattens maximal single-fanout AND / XOR trees and rebuilds them as
+level-aware (Huffman-style) balanced trees, minimizing depth without adding
+gates.  Works on any representation whose network natively contains AND/XOR
+gates; MAJ/XOR3 gates are copied unchanged (MIG/XMG depth optimization is
+done by depth-oriented graph mapping instead).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from ..networks.base import GateType, LogicNetwork
+
+__all__ = ["balance"]
+
+
+def balance(ntk: LogicNetwork) -> LogicNetwork:
+    """Return a depth-balanced copy of ``ntk`` (same class, same function)."""
+    dst = type(ntk)()
+    mapping: Dict[int, int] = {0: 0}
+    for name, n in zip(ntk.pi_names, ntk.pis):
+        mapping[n] = dst.create_pi(name)
+
+    fanout = ntk.fanout_counts()
+
+    def collect(node: int, gate: GateType, out: List[int]) -> None:
+        """Flatten the single-fanout same-type tree rooted at ``node``."""
+        stack = list(ntk.fanins(node))
+        while stack:
+            f = stack.pop()
+            child = f >> 1
+            expandable = (
+                not (f & 1)
+                and ntk.node_type(child) == gate
+                and fanout[child] == 1
+            )
+            if expandable:
+                stack.extend(ntk.fanins(child))
+            else:
+                out.append(f)
+
+    def combine(op, lits: List[int]) -> int:
+        heap = [(dst.level(l >> 1), i, l) for i, l in enumerate(lits)]
+        heapq.heapify(heap)
+        counter = len(lits)
+        while len(heap) > 1:
+            _, _, a = heapq.heappop(heap)
+            _, _, b = heapq.heappop(heap)
+            c = op(a, b)
+            counter += 1
+            heapq.heappush(heap, (dst.level(c >> 1), counter, c))
+        return heap[0][2]
+
+    for n in ntk.gates():
+        t = ntk.node_type(n)
+        if t in (GateType.AND, GateType.XOR):
+            operands: List[int] = []
+            collect(n, t, operands)
+            new_lits = [mapping[f >> 1] ^ (f & 1) for f in operands]
+            op = dst.create_and if t == GateType.AND else dst.create_xor
+            mapping[n] = combine(op, new_lits)
+        else:
+            fis = tuple(mapping[f >> 1] ^ (f & 1) for f in ntk.fanins(n))
+            mapping[n] = dst.create_gate(t, fis)
+
+    for p, name in zip(ntk.pos, ntk.po_names):
+        dst.create_po(mapping[p >> 1] ^ (p & 1), name)
+    return dst

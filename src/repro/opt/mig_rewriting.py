@@ -1,0 +1,144 @@
+"""Algebraic depth rewriting for majority-based networks (MIG / XMG).
+
+Implements the critical-path-driven associativity rewriting of
+Amaru et al. (TCAD'16): on a critical MAJ node ``M(x, u, M(y, u, z))``
+sharing a common fanin ``u`` with its deepest child, the identity
+
+    M(x, u, M(y, u, z))  =  M(z, u, M(y, u, x))
+
+swaps the shallow operand ``x`` with the deep grandchild ``z``, reducing the
+level of the node whenever ``level(z) > level(x) + 1``.  Every candidate is
+additionally guarded by a local truth-table check over the involved
+literals, so the pass is correct by construction even for edge polarities
+the algebra textbook cases do not cover.
+
+The pass rebuilds out-of-place and can be iterated; non-MAJ gates are
+copied unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..networks.base import GateType, LogicNetwork
+from ..truth.truth_table import TruthTable
+
+__all__ = ["mig_depth_rewrite"]
+
+
+def _maj_tt(a: TruthTable, b: TruthTable, c: TruthTable) -> TruthTable:
+    return (a & b) | (a & c) | (b & c)
+
+
+def _check_swap(x: int, u: int, y: int, z: int) -> bool:
+    """Truth-table guard: M(x, u, M(y, u, z)) == M(z, u, M(y, u, x)).
+
+    Arguments are literals over distinct nodes; literals may repeat or be
+    complements of each other, so verify on the spot over ≤4 variables.
+    """
+    nodes = []
+    for lit in (x, u, y, z):
+        if lit >> 1 not in nodes:
+            nodes.append(lit >> 1)
+    nv = len(nodes)
+    var = {}
+    for i, node in enumerate(nodes):
+        var[node] = TruthTable.var(nv, i)
+
+    def tt_of(lit: int) -> TruthTable:
+        t = var[lit >> 1]
+        return ~t if lit & 1 else t
+
+    tx, tu, ty, tz = (tt_of(l) for l in (x, u, y, z))
+    lhs = _maj_tt(tx, tu, _maj_tt(ty, tu, tz))
+    rhs = _maj_tt(tz, tu, _maj_tt(ty, tu, tx))
+    return lhs == rhs
+
+
+def mig_depth_rewrite(ntk: LogicNetwork, rounds: int = 2) -> LogicNetwork:
+    """Iterated associativity depth rewriting; returns the improved network."""
+    current = ntk
+    for _ in range(rounds):
+        nxt = _one_round(current)
+        if nxt.depth() >= current.depth() and nxt.num_gates() >= current.num_gates():
+            break
+        current = nxt
+    return current
+
+
+def _one_round(ntk: LogicNetwork) -> LogicNetwork:
+    dst = type(ntk)()
+    mapping: Dict[int, int] = {0: 0}
+    for name, n in zip(ntk.pi_names, ntk.pis):
+        mapping[n] = dst.create_pi(name)
+    fanout = ntk.fanout_counts()
+
+    def new_lit(old_lit: int) -> int:
+        return mapping[old_lit >> 1] ^ (old_lit & 1)
+
+    for n in ntk.gates():
+        t = ntk.node_type(n)
+        if t != GateType.MAJ:
+            fis = tuple(new_lit(f) for f in ntk.fanins(n))
+            mapping[n] = dst.create_gate(t, fis)
+            continue
+        mapping[n] = _rewrite_maj(ntk, dst, n, mapping, fanout)
+
+    for p, name in zip(ntk.pos, ntk.po_names):
+        dst.create_po(new_lit(p), name)
+    return dst.cleanup()
+
+
+def _rewrite_maj(ntk: LogicNetwork, dst: LogicNetwork, n: int,
+                 mapping: Dict[int, int], fanout: List[int]) -> int:
+    """Build node ``n`` into ``dst``, applying the associativity swap when it
+    lowers the (new) level."""
+    fis = list(ntk.fanins(n))
+
+    def new_lit(old_lit: int) -> int:
+        return mapping[old_lit >> 1] ^ (old_lit & 1)
+
+    def new_level(old_lit: int) -> int:
+        return dst.level(mapping[old_lit >> 1] >> 1)
+
+    default = dst.create_maj(*(new_lit(f) for f in fis))
+
+    # find the deepest fanin that is a single-fanout, non-complemented MAJ
+    best: Optional[int] = None
+    for idx, f in enumerate(fis):
+        child = f >> 1
+        if (
+            not (f & 1)
+            and ntk.node_type(child) == GateType.MAJ
+            and fanout[child] == 1
+            and (best is None or new_level(f) > new_level(fis[best]))
+        ):
+            best = idx
+    if best is None:
+        return default
+    deep = fis[best]
+    others = [fis[i] for i in range(3) if i != best]
+    grand = list(ntk.fanins(deep >> 1))
+
+    # look for a common literal u between the node and its deep child
+    improved = default
+    best_level = dst.level(default >> 1)
+    for u in others:
+        if u not in grand:
+            continue
+        x = others[0] if others[1] == u else others[1]
+        rest = [g for g in grand if g != u]
+        if len(rest) != 2:
+            continue
+        y, z = rest
+        # prefer swapping the deeper grandchild into the shallow slot
+        if new_level(y) > new_level(z):
+            y, z = z, y
+        if not _check_swap(x, u, y, z):
+            continue
+        inner = dst.create_maj(new_lit(y), new_lit(u), new_lit(x))
+        cand = dst.create_maj(new_lit(z), new_lit(u), inner)
+        if dst.level(cand >> 1) < best_level:
+            improved = cand
+            best_level = dst.level(cand >> 1)
+    return improved

@@ -1,0 +1,79 @@
+"""MFFC refactoring (ABC's ``refactor``).
+
+For every node whose maximum fanout-free cone has a bounded leaf support,
+the cone function is collapsed to a truth table and resynthesized from
+scratch (factored SOP of the on-set / off-set, DSD); when the fresh
+structure needs fewer gates than the cone it replaces it.  Because an MFFC
+is fanout-free, replacements are independent and the pass rebuilds the
+network out-of-place in one sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..networks.base import LogicNetwork
+from ..synthesis.factoring import synthesize_tt
+
+__all__ = ["refactor"]
+
+_METHODS = ("sop", "nsop", "dsd_chain")
+
+
+def refactor(ntk: LogicNetwork, max_leaves: int = 10, min_cone: int = 3,
+             allow_zero_gain: bool = False) -> LogicNetwork:
+    """Return a refactored copy of ``ntk`` (same class, same function).
+
+    ``max_leaves`` bounds the cone support (truth-table width), ``min_cone``
+    skips cones too small to be worth collapsing, ``allow_zero_gain``
+    accepts size-neutral replacements (useful for diversification before
+    another pass).
+    """
+    fanout = ntk.fanout_counts()
+    cls = type(ntk)
+
+    # plan replacements root-first (reverse topological), claiming cones
+    plans: Dict[int, Tuple] = {}
+    consumed = set()
+    for node in reversed(list(ntk.gates())):
+        if node in consumed:
+            continue
+        cone = ntk.mffc(node, fanout)
+        if len(cone) < min_cone:
+            continue
+        leaves = ntk.mffc_leaves(cone)
+        if not leaves or len(leaves) > max_leaves:
+            continue
+        tt = ntk.local_function(node, leaves)
+        best: Optional[Tuple[int, str]] = None
+        for method in _METHODS:
+            probe = cls()
+            probe_leaves = [probe.create_pi() for _ in range(len(leaves))]
+            out = synthesize_tt(probe, tt, probe_leaves, method=method)
+            cost = probe.num_gates()
+            if best is None or cost < best[0]:
+                best = (cost, method)
+        limit = len(cone) if allow_zero_gain else len(cone) - 1
+        if best[0] <= limit:
+            plans[node] = (tt, leaves, best[1])
+            consumed.update(cone)
+
+    # rebuild with the planned replacements
+    dst = cls()
+    mapping: Dict[int, int] = {0: 0}
+    for name, n in zip(ntk.pi_names, ntk.pis):
+        mapping[n] = dst.create_pi(name)
+    for n in ntk.gates():
+        if n in plans:
+            tt, leaves, method = plans[n]
+            mapping[n] = synthesize_tt(
+                dst, tt, [mapping[leaf] for leaf in leaves], method=method
+            )
+        elif n in consumed:
+            continue  # interior of a replaced cone; never referenced outside
+        else:
+            fis = tuple(mapping[f >> 1] ^ (f & 1) for f in ntk.fanins(n))
+            mapping[n] = dst.create_gate(ntk.node_type(n), fis)
+    for p, name in zip(ntk.pos, ntk.po_names):
+        dst.create_po(mapping[p >> 1] ^ (p & 1), name)
+    return dst.cleanup()

@@ -1,0 +1,137 @@
+"""Simulation-guided resubstitution with SAT validation (ABC's ``resub``).
+
+For every AND node the pass looks for a pair of existing *divisor* nodes
+whose AND (in some polarity) reproduces the node's function — a classic
+1-resubstitution.  Candidates are discovered with bit-parallel random
+simulation signatures and confirmed with an incremental SAT check, so
+accepted rewrites are provably correct.  Replacing a node whose MFFC has
+``k`` gates by a single fresh AND saves ``k - 1`` gates.
+
+Divisors are restricted to nodes with smaller topological index, which
+guarantees acyclicity and lets the network be rebuilt in one sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..networks.base import GateType, LogicNetwork
+from ..sat.cnf import CnfBuilder
+from ..sat.solver import UNSAT, Solver
+
+__all__ = ["resub"]
+
+
+def resub(ntk: LogicNetwork, width: int = 256, seed: int = 17,
+          max_divisors: int = 150, conflict_limit: int = 1000,
+          max_checks: int = 2000) -> LogicNetwork:
+    """One pass of SAT-validated 1-resubstitution; returns a rebuilt network.
+
+    Only AND-family nodes are targeted (the pass is a no-op on pure
+    MIG networks).  ``max_divisors`` bounds the candidate window per node,
+    ``max_checks`` bounds the total number of SAT calls.
+    """
+    n_total = ntk.num_nodes()
+    rng = random.Random(seed)
+    mask = (1 << width) - 1
+    patterns = [rng.getrandbits(width) for _ in range(ntk.num_pis())]
+    sigs = ntk.simulate_patterns(patterns, mask)
+    levels = ntk.levels()
+    fanout = ntk.fanout_counts()
+
+    builder = CnfBuilder()
+    pi_vars = {i: builder.new_var() for i in range(ntk.num_pis())}
+    var_of, _ = builder.encode(ntk, pi_vars)
+    solver = Solver()
+    for _ in range(builder.num_vars):
+        solver.new_var()
+    for cl in builder.clauses:
+        solver.add_clause(cl)
+    checks = [0]
+
+    def sat_equal(target: int, lit_a: int, lit_b: int, compl: bool) -> bool:
+        """Prove node target == AND(a, b) ^ compl by SAT (False on timeout)."""
+        if checks[0] >= max_checks:
+            return False
+        checks[0] += 1
+        t = var_of[target] * (-1 if compl else 1)
+        a = var_of[lit_a >> 1] * (-1 if lit_a & 1 else 1)
+        b = var_of[lit_b >> 1] * (-1 if lit_b & 1 else 1)
+        g = solver.new_var()  # g -> (t != (a & b))
+        s = solver.new_var()  # s <-> a & b  (fresh each call; cheap)
+        solver.add_clause([-s, a])
+        solver.add_clause([-s, b])
+        solver.add_clause([s, -a, -b])
+        solver.add_clause([-g, t, s])
+        solver.add_clause([-g, -t, -s])
+        res = solver.solve(assumptions=[g], conflict_limit=conflict_limit)
+        return res == UNSAT
+
+    replacements: Dict[int, Tuple[int, int, bool]] = {}  # node -> (lit_a, lit_b, out_compl)
+
+    for node in ntk.gates():
+        if ntk.node_type(node) != GateType.AND:
+            continue
+        cone = ntk.mffc(node, fanout)
+        if len(cone) < 2:
+            continue  # nothing to gain: replacement costs one new AND
+        target_sig = sigs[node]
+        # divisor window: earlier nodes at or below this level, nearest first
+        divisors: List[int] = []
+        for d in range(node - 1, 0, -1):
+            if len(divisors) >= max_divisors:
+                break
+            if (ntk.is_gate(d) or ntk.is_pi(d)) and d not in cone and levels[d] <= levels[node]:
+                divisors.append(d)
+        found = False
+        for i, d1 in enumerate(divisors):
+            if found:
+                break
+            s1 = sigs[d1]
+            for d2 in divisors[i + 1:]:
+                if found:
+                    break
+                s2 = sigs[d2]
+                for p1 in (0, 1):
+                    if found:
+                        break
+                    v1 = s1 ^ (mask if p1 else 0)
+                    for p2 in (0, 1):
+                        v2 = s2 ^ (mask if p2 else 0)
+                        both = v1 & v2
+                        if both == target_sig:
+                            la, lb = (d1 << 1) | p1, (d2 << 1) | p2
+                            if sat_equal(node, la, lb, compl=False):
+                                replacements[node] = (la, lb, False)
+                                found = True
+                                break
+                        elif both == target_sig ^ mask:
+                            la, lb = (d1 << 1) | p1, (d2 << 1) | p2
+                            if sat_equal(node, la, lb, compl=True):
+                                replacements[node] = (la, lb, True)
+                                found = True
+                                break
+
+    if not replacements:
+        return ntk
+
+    # rebuild with replacements (divisors precede their targets, so a single
+    # topological sweep suffices)
+    dst = type(ntk)()
+    mapping: Dict[int, int] = {0: 0}
+    for name, n in zip(ntk.pi_names, ntk.pis):
+        mapping[n] = dst.create_pi(name)
+
+    for n in ntk.gates():
+        if n in replacements:
+            la, lb, compl = replacements[n]
+            a = mapping[la >> 1] ^ (la & 1)
+            b = mapping[lb >> 1] ^ (lb & 1)
+            mapping[n] = dst.create_and(a, b) ^ int(compl)
+        else:
+            fis = tuple(mapping[f >> 1] ^ (f & 1) for f in ntk.fanins(n))
+            mapping[n] = dst.create_gate(ntk.node_type(n), fis)
+    for p, name in zip(ntk.pos, ntk.po_names):
+        dst.create_po(mapping[p >> 1] ^ (p & 1), name)
+    return dst.cleanup()

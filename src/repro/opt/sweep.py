@@ -1,0 +1,49 @@
+"""Functional sweep: merge equivalent nodes (ABC's ``fraig``/``&sweep``)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..networks.base import LogicNetwork
+from .equivalence import functional_classes
+
+__all__ = ["sweep"]
+
+
+def sweep(ntk: LogicNetwork, sat_verify: bool = True, **kwargs) -> LogicNetwork:
+    """Merge functionally equivalent nodes; returns a rebuilt network.
+
+    Each equivalence class keeps its topologically earliest member; all other
+    members are replaced by the representative (with phase), and the network
+    is rebuilt so dangling logic disappears.
+    """
+    classes = functional_classes(ntk, sat_verify=sat_verify, **kwargs)
+    replace: Dict[int, int] = {}  # node -> representative literal (old ids)
+    for members in classes:
+        rep, _ = members[0]
+        for node, phase in members[1:]:
+            replace[node] = (rep << 1) | int(phase)
+
+    dst = type(ntk)()
+    mapping: Dict[int, int] = {0: 0}
+    for name, n in zip(ntk.pi_names, ntk.pis):
+        mapping[n] = dst.create_pi(name)
+
+    def mapped(literal: int) -> int:
+        node = literal >> 1
+        phase = literal & 1
+        while node in replace:
+            r = replace[node]
+            node = r >> 1
+            phase ^= r & 1
+        return mapping[node] ^ phase
+
+    for n in ntk.gates():
+        if n in replace:
+            continue  # merged away
+        fis = tuple(mapped(f) for f in ntk.fanins(n))
+        mapping[n] = dst.create_gate(ntk.node_type(n), fis)
+
+    for p, name in zip(ntk.pos, ntk.po_names):
+        dst.create_po(mapped(p), name)
+    return dst.cleanup()

@@ -1,0 +1,7 @@
+"""SAT solving and combinational equivalence checking."""
+
+from .solver import SAT, UNSAT, Solver
+from .cnf import CnfBuilder
+from .cec import CecResult, cec, find_counterexample
+
+__all__ = ["Solver", "SAT", "UNSAT", "CnfBuilder", "CecResult", "cec", "find_counterexample"]

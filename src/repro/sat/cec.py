@@ -1,0 +1,120 @@
+"""Combinational equivalence checking (the Python analogue of ABC ``cec``).
+
+Strategy, mirroring practical CEC engines:
+
+1. **Exhaustive simulation** when the PI count is small (≤ ``sim_limit``):
+   bit-parallel truth-table comparison, exact and fast.
+2. **Random simulation** to hunt for cheap counterexamples.
+3. **SAT miter**: Tseitin-encode both networks over shared PI variables, add
+   a disequality miter per PO pair, and prove UNSAT with the CDCL solver.
+
+Every optimization and mapping pass in this library is verified through
+:func:`cec` in the test suite, mirroring the paper's statement that "all
+results have been formally verified with ABC's cec command".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..networks.base import LogicNetwork
+from .cnf import CnfBuilder
+from .solver import SAT, Solver
+
+__all__ = ["cec", "CecResult", "find_counterexample"]
+
+
+class CecResult:
+    """Outcome of an equivalence check."""
+
+    def __init__(self, equivalent: bool, counterexample: Optional[List[bool]] = None,
+                 method: str = ""):
+        self.equivalent = equivalent
+        self.counterexample = counterexample
+        self.method = method
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+    def __repr__(self) -> str:
+        if self.equivalent:
+            return f"CecResult(equivalent, via {self.method})"
+        return f"CecResult(NOT equivalent, cex={self.counterexample})"
+
+
+def _interface_check(a: LogicNetwork, b: LogicNetwork) -> None:
+    if a.num_pis() != b.num_pis():
+        raise ValueError(f"PI count mismatch: {a.num_pis()} vs {b.num_pis()}")
+    if a.num_pos() != b.num_pos():
+        raise ValueError(f"PO count mismatch: {a.num_pos()} vs {b.num_pos()}")
+
+
+def find_counterexample(a: LogicNetwork, b: LogicNetwork, rounds: int = 64,
+                        width: int = 64, seed: int = 1) -> Optional[List[bool]]:
+    """Random simulation: returns a distinguishing input or None."""
+    _interface_check(a, b)
+    rng = random.Random(seed)
+    n = a.num_pis()
+    mask = (1 << width) - 1
+    for _ in range(rounds):
+        patterns = [rng.getrandbits(width) for _ in range(n)]
+        va = a.simulate_patterns(patterns, mask)
+        vb = b.simulate_patterns(patterns, mask)
+        for pa, pb in zip(a.pos, b.pos):
+            xa = va[pa >> 1] ^ (mask if pa & 1 else 0)
+            xb = vb[pb >> 1] ^ (mask if pb & 1 else 0)
+            diff = xa ^ xb
+            if diff:
+                bit = (diff & -diff).bit_length() - 1
+                return [bool((patterns[i] >> bit) & 1) for i in range(n)]
+    return None
+
+
+def cec(a: LogicNetwork, b: LogicNetwork, sim_limit: int = 12,
+        sim_rounds: int = 16) -> CecResult:
+    """Check combinational equivalence of two networks (PO-by-PO, in order)."""
+    _interface_check(a, b)
+
+    if a.num_pis() <= sim_limit:
+        ta = a.simulate_truth_tables()
+        tb = b.simulate_truth_tables()
+        for i, (x, y) in enumerate(zip(ta, tb)):
+            if x != y:
+                diff = x.bits ^ y.bits
+                m = (diff & -diff).bit_length() - 1
+                cex = [bool((m >> v) & 1) for v in range(a.num_pis())]
+                return CecResult(False, cex, "exhaustive simulation")
+        return CecResult(True, method="exhaustive simulation")
+
+    cex = find_counterexample(a, b, rounds=sim_rounds)
+    if cex is not None:
+        return CecResult(False, cex, "random simulation")
+
+    # SAT miter over shared PIs
+    builder = CnfBuilder()
+    pi_vars = {i: builder.new_var() for i in range(a.num_pis())}
+    _, po_a = builder.encode(a, pi_vars)
+    _, po_b = builder.encode(b, pi_vars)
+    miter_outs = []
+    for la, lb in zip(po_a, po_b):
+        m = builder.new_var()
+        # m <-> (la xor lb)
+        builder.add_clause([-m, la, lb])
+        builder.add_clause([-m, -la, -lb])
+        builder.add_clause([m, -la, lb])
+        builder.add_clause([m, la, -lb])
+        miter_outs.append(m)
+    builder.add_clause(miter_outs)  # some PO differs
+
+    solver = Solver()
+    for _ in range(builder.num_vars):
+        solver.new_var()
+    for cl in builder.clauses:
+        if not solver.add_clause(cl):
+            return CecResult(True, method="sat (trivially unsat)")
+    res = solver.solve()
+    if res == SAT:
+        cex = [solver.model_value(pi_vars[i]) for i in range(a.num_pis())]
+        return CecResult(False, cex, "sat")
+    return CecResult(True, method="sat")

@@ -1,0 +1,85 @@
+"""Tseitin CNF encoding of logic networks."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..networks.base import GateType, LogicNetwork
+
+__all__ = ["CnfBuilder"]
+
+
+class CnfBuilder:
+    """Incrementally encodes one or more networks into a shared CNF.
+
+    PIs can be unified between networks (for miters) by passing an explicit
+    PI-variable map to :meth:`encode`.
+    """
+
+    def __init__(self):
+        self.clauses: List[List[int]] = []
+        self.num_vars = 0
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, lits: List[int]) -> None:
+        self.clauses.append(list(lits))
+
+    def encode(self, ntk: LogicNetwork, pi_vars: Dict[int, int] = None) -> Tuple[Dict[int, int], List[int]]:
+        """Encode a network; returns (node→var map, PO signed literals)."""
+        var_of: Dict[int, int] = {}
+        const_var = self.new_var()
+        self.add_clause([-const_var])  # node 0 is constant false
+        var_of[0] = const_var
+        for i, n in enumerate(ntk.pis):
+            if pi_vars is not None and i in pi_vars:
+                var_of[n] = pi_vars[i]
+            else:
+                var_of[n] = self.new_var()
+
+        def sl(literal: int) -> int:
+            v = var_of[literal >> 1]
+            return -v if literal & 1 else v
+
+        for n in ntk.gates():
+            out = self.new_var()
+            var_of[n] = out
+            fis = [sl(f) for f in ntk.fanins(n)]
+            t = ntk.node_type(n)
+            if t == GateType.AND:
+                a, b = fis
+                self.add_clause([-out, a])
+                self.add_clause([-out, b])
+                self.add_clause([out, -a, -b])
+            elif t == GateType.XOR:
+                a, b = fis
+                self.add_clause([-out, a, b])
+                self.add_clause([-out, -a, -b])
+                self.add_clause([out, -a, b])
+                self.add_clause([out, a, -b])
+            elif t == GateType.MAJ:
+                a, b, c = fis
+                self.add_clause([-out, a, b])
+                self.add_clause([-out, a, c])
+                self.add_clause([-out, b, c])
+                self.add_clause([out, -a, -b])
+                self.add_clause([out, -a, -c])
+                self.add_clause([out, -b, -c])
+            elif t == GateType.XOR3:
+                a, b, c = fis
+                # out = a ^ b ^ c: forbid all even-parity mismatches
+                self.add_clause([-out, a, b, c])
+                self.add_clause([-out, -a, -b, c])
+                self.add_clause([-out, -a, b, -c])
+                self.add_clause([-out, a, -b, -c])
+                self.add_clause([out, -a, b, c])
+                self.add_clause([out, a, -b, c])
+                self.add_clause([out, a, b, -c])
+                self.add_clause([out, -a, -b, -c])
+            else:
+                raise ValueError(f"cannot encode gate type {t}")
+
+        po_lits = [sl(p) for p in ntk.pos]
+        return var_of, po_lits

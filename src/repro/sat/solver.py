@@ -1,0 +1,287 @@
+"""A compact CDCL SAT solver.
+
+Implements the standard modern architecture — two-watched-literal scheme,
+first-UIP conflict clause learning with clause minimization, VSIDS-style
+activity decay, phase saving, and geometric restarts.  Used by
+:mod:`repro.sat.cec` to prove combinational equivalence of networks, the
+Python analogue of ABC's ``cec`` that the paper uses to verify all results.
+
+Literal convention: DIMACS-style signed integers (``v`` / ``-v``),
+variables are 1-based.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Solver", "SAT", "UNSAT"]
+
+SAT = True
+UNSAT = False
+
+
+class Solver:
+    """CDCL SAT solver over clauses of DIMACS-signed integer literals."""
+
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self.watches: Dict[int, List[int]] = {}
+        self.assign: List[int] = [0]  # 1-based; 0 unassigned, +1 true, -1 false
+        self.level: List[int] = [0]
+        self.reason: List[Optional[int]] = [None]
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.activity: List[float] = [0.0]
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.saved_phase: List[int] = [0]
+        self.qhead = 0
+
+    # -- problem construction ------------------------------------------------
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.assign.append(0)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.saved_phase.append(-1)
+        return self.num_vars
+
+    def _ensure_vars(self, lits: Iterable[int]) -> None:
+        m = max((abs(l) for l in lits), default=0)
+        while self.num_vars < m:
+            self.new_var()
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a clause; returns False if it is trivially unsatisfiable."""
+        lits = list(dict.fromkeys(lits))  # dedupe, keep order
+        self._ensure_vars(lits)
+        if any(-l in lits for l in lits):
+            return True  # tautology
+        # remove literals already false at level 0, check satisfied
+        if self.trail_lim:
+            raise RuntimeError("clauses must be added at decision level 0")
+        out = []
+        for l in lits:
+            v = self._value(l)
+            if v == 1:
+                return True
+            if v == 0:
+                out.append(l)
+        if not out:
+            self.clauses.append([])  # mark conflict
+            return False
+        if len(out) == 1:
+            return self._enqueue(out[0], None)
+        idx = len(self.clauses)
+        self.clauses.append(out)
+        self.watches.setdefault(out[0], []).append(idx)
+        self.watches.setdefault(out[1], []).append(idx)
+        return True
+
+    # -- assignment helpers --------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        a = self.assign[abs(lit)]
+        return a if lit > 0 else -a
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        if self._value(lit) == -1:
+            return False
+        if self._value(lit) == 1:
+            return True
+        v = abs(lit)
+        self.assign[v] = 1 if lit > 0 else -1
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns index of a conflicting clause or None."""
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            false_lit = -lit
+            watchlist = self.watches.get(false_lit, [])
+            new_list = []
+            for pos, ci in enumerate(watchlist):
+                clause = self.clauses[ci]
+                # ensure false_lit is at position 1
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == 1:
+                    new_list.append(ci)
+                    continue
+                # look for a replacement watch
+                found = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) != -1:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self.watches.setdefault(clause[1], []).append(ci)
+                        found = True
+                        break
+                if found:
+                    continue
+                # clause is unit or conflicting
+                new_list.append(ci)
+                if not self._enqueue(clause[0], ci):
+                    # conflict: keep remaining watchers untouched
+                    self.watches[false_lit] = new_list + watchlist[pos + 1:]
+                    return ci
+            self.watches[false_lit] = new_list
+        return None
+
+    # -- conflict analysis -----------------------------------------------------
+
+    def _bump(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(1, self.num_vars + 1):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, confl: int):
+        learnt = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p = None
+        index = len(self.trail) - 1
+        cur_level = len(self.trail_lim)
+
+        while True:
+            clause = self.clauses[confl]
+            for lit in clause:
+                v = abs(lit)
+                if p is not None and v == abs(p):
+                    continue  # skip the asserting literal of the reason
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self.level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(lit)
+            # pick next literal from trail
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            p = self.trail[index]
+            v = abs(p)
+            seen[v] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            confl = self.reason[v]
+        learnt[0] = -p
+
+        # simple clause minimization: drop literals implied by the rest
+        cleaned = [learnt[0]]
+        for lit in learnt[1:]:
+            r = self.reason[abs(lit)]
+            if r is None:
+                cleaned.append(lit)
+                continue
+            implied = all(
+                abs(q) == abs(lit) or seen[abs(q)] or self.level[abs(q)] == 0
+                for q in self.clauses[r]
+            )
+            if not implied:
+                cleaned.append(lit)
+        learnt = cleaned
+
+        # backtrack level = max level among learnt[1:]
+        if len(learnt) == 1:
+            bt = 0
+        else:
+            bt = max(self.level[abs(l)] for l in learnt[1:])
+        return learnt, bt
+
+    def _cancel_until(self, lvl: int) -> None:
+        while len(self.trail_lim) > lvl:
+            pos = self.trail_lim.pop()
+            while len(self.trail) > pos:
+                lit = self.trail.pop()
+                v = abs(lit)
+                self.saved_phase[v] = 1 if lit > 0 else -1
+                self.assign[v] = 0
+                self.reason[v] = None
+            self.qhead = min(self.qhead, len(self.trail))
+
+    def _decide(self) -> Optional[int]:
+        best_v, best_a = 0, -1.0
+        for v in range(1, self.num_vars + 1):
+            if self.assign[v] == 0 and self.activity[v] > best_a:
+                best_v, best_a = v, self.activity[v]
+        if best_v == 0:
+            return None
+        phase = self.saved_phase[best_v]
+        return best_v if phase >= 0 else -best_v
+
+    # -- main loop -----------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None):
+        """Solve; returns SAT/UNSAT, or None if the conflict limit was hit."""
+        if any(not c for c in self.clauses):
+            return UNSAT
+        if self._propagate() is not None:
+            return UNSAT
+
+        for a in assumptions:
+            self._ensure_vars([a])
+            if self._value(a) == -1:
+                self._cancel_until(0)
+                return UNSAT
+            if self._value(a) == 0:
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(a, None)
+                if self._propagate() is not None:
+                    self._cancel_until(0)
+                    return UNSAT
+        base_level = len(self.trail_lim)
+
+        conflicts = 0
+        restart_limit = 100
+        since_restart = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                conflicts += 1
+                since_restart += 1
+                if conflict_limit is not None and conflicts > conflict_limit:
+                    self._cancel_until(0)
+                    return None
+                if len(self.trail_lim) == base_level:
+                    self._cancel_until(0)
+                    return UNSAT
+                learnt, bt = self._analyze(confl)
+                self._cancel_until(max(bt, base_level))
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._cancel_until(0)
+                        return UNSAT
+                else:
+                    idx = len(self.clauses)
+                    self.clauses.append(learnt)
+                    self.watches.setdefault(learnt[0], []).append(idx)
+                    self.watches.setdefault(learnt[1], []).append(idx)
+                    self._enqueue(learnt[0], idx)
+                self.var_inc /= self.var_decay
+                if since_restart > restart_limit:
+                    since_restart = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._cancel_until(base_level)
+            else:
+                lit = self._decide()
+                if lit is None:
+                    self.model = list(self.assign)
+                    self._cancel_until(0)
+                    return SAT
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+
+    def model_value(self, var: int) -> bool:
+        """Value of a variable in the last SAT model."""
+        return self.model[var] > 0

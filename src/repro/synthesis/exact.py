@@ -1,0 +1,229 @@
+"""SAT-based exact synthesis of small functions (Knuth/SSV encoding).
+
+Finds a *gate-count-optimal* two-input-gate network (AND/XOR vocabulary
+restricted per target representation) for a given truth table by solving a
+sequence of SAT instances with increasing gate counts.  This is the
+"exact NPN library" entry of the synthesis-strategy spectrum: slower than
+the heuristic builders but optimal, and cached per NPN class.
+
+Encoding (single-output, normal form with complemented edges):
+
+* ``r`` candidate gates, gate ``i`` picks two fanins (with polarity) among
+  the inputs and earlier gates via one-hot selection variables;
+* per input-minterm simulation variables constrain every gate's output to
+  follow its operator; the last gate must match the target function
+  (possibly complemented, since output polarity is free).
+
+Practical for up to 4 inputs and ~6 gates with the bundled CDCL solver.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..networks.base import LogicNetwork
+from ..sat.solver import SAT, Solver
+from ..truth.npn import canonicalize, inverse_transform, apply_transform
+from ..truth.truth_table import TruthTable
+
+__all__ = ["exact_synthesize", "exact_gate_count", "ExactRecipe"]
+
+#: A found network: list of (lit_a, lit_b, op) per gate plus output literal.
+#: Literals: 2*k (+1 for complement), where k < num_inputs means input k and
+#: k >= num_inputs means gate k - num_inputs.  op is "and" or "xor".
+ExactRecipe = Tuple[Tuple[Tuple[int, int, str], ...], int]
+
+
+def _solve_fixed_size(tt: TruthTable, r: int, ops: Tuple[str, ...],
+                      conflict_limit: Optional[int]) -> Optional[ExactRecipe]:
+    n = tt.num_vars
+    rows = 1 << n
+    solver = Solver()
+
+    # selection vars: sel[i][(lit_a, lit_b, op)] one-hot per gate
+    sel: List[Dict[Tuple[int, int, str], int]] = []
+    # value vars: val[i][row]
+    val: List[List[int]] = []
+
+    def operands(i: int) -> List[int]:
+        # literals over inputs and earlier gates, both polarities
+        lits = []
+        for k in range(n + i):
+            lits.append(2 * k)
+            lits.append(2 * k + 1)
+        return lits
+
+    def lit_value_var(lit: int, row: int) -> Tuple[Optional[int], bool]:
+        """(SAT var or None for constant-input rows, negated?)"""
+        k = lit >> 1
+        neg = bool(lit & 1)
+        if k < n:
+            bit = bool((row >> k) & 1) ^ neg
+            return None, bit
+        return val[k - n][row], neg
+
+    for i in range(r):
+        val.append([solver.new_var() for _ in range(rows)])
+    for i in range(r):
+        choices: Dict[Tuple[int, int, str], int] = {}
+        for op in ops:
+            lits = operands(i)
+            for ai in range(len(lits)):
+                for bi in range(ai + 1, len(lits)):
+                    a, b = lits[ai], lits[bi]
+                    if a >> 1 == b >> 1:
+                        continue
+                    if op == "xor" and ((a & 1) or (b & 1)):
+                        continue  # complement folds into output for XOR
+                    choices[(a, b, op)] = solver.new_var()
+        sel.append(choices)
+        # exactly-one selection
+        solver.add_clause(list(choices.values()))
+        vs = list(choices.values())
+        for x in range(len(vs)):
+            for y in range(x + 1, len(vs)):
+                solver.add_clause([-vs[x], -vs[y]])
+
+    # semantics: if gate i selects (a, b, op) then val[i][row] = op(a, b)
+    for i in range(r):
+        for (a, b, op), s in sel[i].items():
+            for row in range(rows):
+                va, na = lit_value_var(a, row)
+                vb, nb = lit_value_var(b, row)
+                out = val[i][row]
+
+                # encode out <-> op(x, y) conditioned on s, where constant
+                # inputs specialize the clauses
+                def term(var, neg, want):
+                    """SAT literal asserting the operand equals ``want``.
+
+                    For constant operands ``neg`` carries the known value:
+                    None means "already satisfied", False means "combination
+                    impossible" (whole clause vacuous).
+                    """
+                    if var is None:
+                        return None if neg == want else False
+                    # var^neg == want  <=>  var == want^neg
+                    return var if (want ^ neg) else -var
+
+                if op == "and":
+                    combos = [(False, False, False), (False, True, False),
+                              (True, False, False), (True, True, True)]
+                else:  # xor
+                    combos = [(False, False, False), (False, True, True),
+                              (True, False, True), (True, True, False)]
+                for wa, wb, wout in combos:
+                    ta = term(va, na, wa)
+                    tb = term(vb, nb, wb)
+                    if ta is False or tb is False:
+                        continue  # combination impossible for constant input
+                    clause = [-s]
+                    if ta is not None:
+                        clause.append(-ta)
+                    if tb is not None:
+                        clause.append(-tb)
+                    clause.append(out if wout else -out)
+                    solver.add_clause(clause)
+
+    # output: last gate equals the function, polarity free via a phase var
+    phase = solver.new_var()
+    for row in range(rows):
+        want = tt.get_bit(row)
+        # val[r-1][row] ^ phase == want
+        if want:
+            solver.add_clause([val[r - 1][row], phase])
+            solver.add_clause([-val[r - 1][row], -phase])
+        else:
+            solver.add_clause([-val[r - 1][row], phase])
+            solver.add_clause([val[r - 1][row], -phase])
+
+    res = solver.solve(conflict_limit=conflict_limit)
+    if res is not SAT or res is None:
+        return None
+    gates = []
+    for i in range(r):
+        pick = None
+        for key, s in sel[i].items():
+            if solver.model_value(s):
+                pick = key
+                break
+        gates.append(pick)
+    out_lit = (2 * (n + r - 1)) | int(solver.model_value(phase))
+    return tuple(gates), out_lit
+
+
+def exact_synthesize(tt: TruthTable, ops: Tuple[str, ...] = ("and",),
+                     max_gates: int = 7,
+                     conflict_limit: Optional[int] = 60000) -> Optional[ExactRecipe]:
+    """Find a gate-count-optimal recipe for ``tt``; None if none ≤ max_gates.
+
+    ``ops`` selects the gate vocabulary: ``("and",)`` for AIGs,
+    ``("and", "xor")`` for XAGs.  Results are canonical-cached.
+    """
+    if tt.num_vars > 4:
+        raise ValueError("exact synthesis supported for <= 4 inputs")
+    if tt.is_const0() or tt.is_const1():
+        raise ValueError("constants need no synthesis")
+    canon, transform = canonicalize(tt)
+    recipe = _exact_canon(canon.num_vars, canon.bits, tuple(ops), max_gates,
+                          conflict_limit)
+    if recipe is None:
+        return None
+    return _apply_inverse(recipe, transform, tt.num_vars)
+
+
+@lru_cache(maxsize=4096)
+def _exact_canon(num_vars: int, bits: int, ops: Tuple[str, ...], max_gates: int,
+                 conflict_limit: Optional[int]) -> Optional[ExactRecipe]:
+    tt = TruthTable(num_vars, bits)
+    sup = tt.support()
+    if len(sup) == 1:
+        v = sup[0]
+        neg = tt != TruthTable.var(num_vars, v)
+        return (), (2 * v) | int(neg)
+    for r in range(1, max_gates + 1):
+        recipe = _solve_fixed_size(tt, r, ops, conflict_limit)
+        if recipe is not None:
+            return recipe
+    return None
+
+
+def _apply_inverse(recipe: ExactRecipe, transform, num_vars: int) -> ExactRecipe:
+    """Re-express a canonical recipe in terms of the original inputs."""
+    perm, phases, out_phase = transform
+    gates, out_lit = recipe
+
+    def fix(lit: int) -> int:
+        k = lit >> 1
+        neg = lit & 1
+        if k < num_vars:
+            # canonical input i is original input perm[i] xor phases[i]
+            return (2 * perm[k]) | (neg ^ int(phases[k]))
+        return lit
+
+    new_gates = tuple((fix(a), fix(b), op) for a, b, op in gates)
+    return new_gates, fix(out_lit) ^ int(out_phase)
+
+
+def build_exact(ntk: LogicNetwork, recipe: ExactRecipe, leaf_lits: Sequence[int]) -> int:
+    """Materialize an exact recipe into a network; returns the output literal."""
+    gates, out_lit = recipe
+    signals = list(leaf_lits)
+
+    def sig(lit: int) -> int:
+        return signals[lit >> 1] ^ (lit & 1)
+
+    for a, b, op in gates:
+        if op == "and":
+            signals.append(ntk.create_and(sig(a), sig(b)))
+        else:
+            signals.append(ntk.create_xor(sig(a), sig(b)))
+    return sig(out_lit)
+
+
+def exact_gate_count(tt: TruthTable, ops: Tuple[str, ...] = ("and",),
+                     max_gates: int = 7) -> Optional[int]:
+    """Optimal gate count for ``tt`` under the vocabulary, or None."""
+    recipe = exact_synthesize(tt, ops=ops, max_gates=max_gates)
+    return len(recipe[0]) if recipe is not None else None

@@ -1,0 +1,26 @@
+"""Truth-table engine: bit-parallel tables, NPN, ISOP, DSD."""
+
+from .truth_table import TruthTable, const_tt, var_tt
+from .npn import apply_transform, canonicalize, inverse_transform, semi_canonicalize
+from .isop import Cube, cover_truth_table, cube_literals, cube_truth_table, isop, num_literals
+from .dsd import DsdNode, decompose, dsd_depth, dsd_num_gates
+
+__all__ = [
+    "TruthTable",
+    "const_tt",
+    "var_tt",
+    "apply_transform",
+    "canonicalize",
+    "inverse_transform",
+    "semi_canonicalize",
+    "Cube",
+    "isop",
+    "cube_truth_table",
+    "cover_truth_table",
+    "cube_literals",
+    "num_literals",
+    "DsdNode",
+    "decompose",
+    "dsd_num_gates",
+    "dsd_depth",
+]

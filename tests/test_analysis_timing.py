@@ -1,0 +1,86 @@
+"""Tests for statistics and load-aware timing analysis."""
+
+import pytest
+
+from repro.analysis import format_stats, lut_stats, netlist_stats, network_stats
+from repro.circuits import build
+from repro.mapping import asic_map, lut_map
+from repro.mapping.timing import LinearLoadModel, critical_path, sta
+from repro.networks import Xmg, convert
+
+
+class TestNetworkStats:
+    def test_counts_match(self):
+        ntk = build("adder", "tiny")
+        s = network_stats(ntk)
+        assert s["gates"] == ntk.num_gates()
+        assert s["depth"] == ntk.depth()
+        assert sum(s["gate_histogram"].values()) == ntk.num_gates()
+
+    def test_gate_types_in_xmg(self):
+        ntk = convert(build("adder", "tiny"), Xmg)
+        s = network_stats(ntk)
+        assert set(s["gate_histogram"]) <= {"MAJ", "XOR3"}
+
+    def test_format(self):
+        text = format_stats(network_stats(build("ctrl", "tiny")), title="ctrl")
+        assert text.startswith("ctrl")
+        assert "gate_histogram" in text
+
+
+class TestLutStats:
+    def test_histogram_sums(self):
+        lut = lut_map(build("max", "tiny"), k=5)
+        s = lut_stats(lut)
+        assert sum(s["lut_size_histogram"].values()) == s["luts"] == lut.num_luts()
+        assert 1 <= s["avg_lut_inputs"] <= 5
+
+
+class TestNetlistStats:
+    def test_consistency(self):
+        nl = asic_map(build("router", "tiny"), objective="area")
+        s = netlist_stats(nl)
+        assert s["cells"] == nl.num_cells()
+        assert s["area"] == pytest.approx(nl.area())
+        assert s["switching_power"] > 0
+
+
+class TestSta:
+    @pytest.fixture(scope="class")
+    def netlist(self):
+        return asic_map(build("int2float", "tiny"), objective="delay")
+
+    def test_arrivals_monotone(self, netlist):
+        arr = sta(netlist)
+        for net, d in enumerate(netlist._drivers):
+            if d is None:
+                continue
+            for f in d[1]:
+                assert arr[net] > arr[f] - 1e-9
+
+    def test_load_increases_delay_vs_nominal(self, netlist):
+        # with the calibration reference at fanout-2, a real netlist's
+        # load-aware delay is in the same order as the fixed-delay model
+        arr = sta(netlist)
+        worst = max(arr[p] for p in netlist.pos)
+        fixed = netlist.delay()
+        assert 0.3 * fixed < worst < 10 * fixed
+
+    def test_model_parameters_matter(self, netlist):
+        light = sta(netlist, LinearLoadModel(cap_per_area=1.0))
+        heavy = sta(netlist, LinearLoadModel(cap_per_area=20.0))
+        assert max(heavy[p] for p in netlist.pos) > max(light[p] for p in netlist.pos)
+
+    def test_critical_path_connected(self, netlist):
+        path = critical_path(netlist)
+        assert path, "netlist must have a critical path"
+        for up, down in zip(path[1:], path[:-1]):
+            d = netlist._drivers[down]
+            assert d is not None and up in d[1]
+
+    def test_empty_netlist(self):
+        from repro.networks import CellNetlist
+
+        nl = CellNetlist()
+        nl.create_pi()
+        assert critical_path(nl) == []

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["fly"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "adder", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "gates" in out and "adder" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "voter" in out and "mem_ctrl" in out
+
+    def test_unknown_circuit(self):
+        with pytest.raises(SystemExit):
+            main(["info", "not-a-circuit"])
+
+    def test_optimize_with_verify(self, capsys):
+        assert main(["optimize", "ctrl", "--scale", "tiny", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "cec: ok" in out
+
+    def test_map_luts_plain(self, capsys, tmp_path):
+        out_file = tmp_path / "out.blif"
+        assert main(["map-luts", "int2float", "--scale", "tiny",
+                     "-o", str(out_file)]) == 0
+        assert "LUTs" in capsys.readouterr().out
+        assert out_file.read_text().startswith(".model")
+
+    def test_map_luts_mch_verified(self, capsys):
+        assert main(["map-luts", "adder", "--scale", "tiny", "--mch",
+                     "--reps", "xmg,xag", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "choice network" in out and "cec: ok" in out
+
+    def test_map_asic_with_verilog(self, capsys, tmp_path):
+        out_file = tmp_path / "out.v"
+        assert main(["map-asic", "router", "--scale", "tiny", "--verify",
+                     "-o", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "cells" in out and "cec: ok" in out
+        assert "module top" in out_file.read_text()
+
+    def test_optimize_writes_aiger(self, capsys, tmp_path):
+        out_file = tmp_path / "opt.aag"
+        assert main(["optimize", "dec", "--scale", "tiny",
+                     "-o", str(out_file)]) == 0
+        from repro.io import read_aag
+        from repro.circuits import build
+        from repro.sat import cec
+
+        back = read_aag(out_file.read_text())
+        assert cec(build("dec", "tiny"), back)
+
+    def test_experiment_fig2(self, capsys):
+        assert main(["experiment", "fig2"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_aag_input_roundtrip(self, capsys, tmp_path):
+        from repro.circuits import build
+        from repro.io import write_aag
+
+        path = tmp_path / "c.aag"
+        path.write_text(write_aag(build("ctrl", "tiny")))
+        assert main(["info", str(path)]) == 0
+        assert "gates" in capsys.readouterr().out

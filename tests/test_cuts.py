@@ -1,0 +1,144 @@
+"""Tests for priority-cut enumeration and cut functions."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cuts import Cut, enumerate_cuts, expand_tt
+from repro.networks import Aig, MixedNetwork, Xmg
+from repro.networks.base import lit_not
+from repro.truth.truth_table import TruthTable
+
+
+def check_cut_functions(ntk, cuts):
+    """Every cut function must match simulation of the node from the leaves."""
+    n_pis = ntk.num_pis()
+    # Assign each node's global function by simulation
+    from repro.truth.truth_table import var_mask
+    mask = (1 << (1 << n_pis)) - 1
+    patterns = [var_mask(n_pis, i) for i in range(n_pis)]
+    vals = ntk.simulate_patterns(patterns, mask)
+
+    for node in ntk.gates():
+        for cut in cuts[node]:
+            assert len(cut.leaves) <= 6
+            # compose: cut tt applied to leaf global functions == node function
+            got = 0
+            for m in range(1 << len(cut.leaves)):
+                if cut.tt.get_bit(m):
+                    term = mask
+                    for i, leaf in enumerate(cut.leaves):
+                        lv = vals[leaf]
+                        term &= lv if (m >> i) & 1 else (lv ^ mask)
+                    got |= term
+            assert got == vals[node], f"cut {cut} of node {node} wrong"
+
+
+def build_sample(cls):
+    ntk = cls()
+    a = ntk.create_pi()
+    b = ntk.create_pi()
+    c = ntk.create_pi()
+    d = ntk.create_pi()
+    g1 = ntk.create_and(a, b)
+    g2 = ntk.create_or(c, d)
+    g3 = ntk.create_xor(g1, g2)
+    ntk.create_po(g3)
+    return ntk
+
+
+class TestExpand:
+    def test_expand_identity(self):
+        tt = TruthTable.from_hex(2, "8")
+        assert expand_tt(tt, [0, 1], 2) == tt.bits
+
+    def test_expand_shift(self):
+        tt = TruthTable.var(1, 0)
+        bits = expand_tt(tt, [2], 3)
+        assert bits == TruthTable.var(3, 2).bits
+
+
+class TestEnumeration:
+    def test_pi_trivial_cut(self):
+        ntk = build_sample(Aig)
+        cuts = enumerate_cuts(ntk, k=4)
+        pi = ntk.pis[0]
+        assert len(cuts[pi]) == 1
+        assert cuts[pi][0].leaves == (pi,)
+
+    def test_every_gate_has_trivial_cut(self):
+        ntk = build_sample(Aig)
+        cuts = enumerate_cuts(ntk, k=4)
+        for g in ntk.gates():
+            assert any(c.is_trivial() for c in cuts[g])
+
+    def test_cut_functions_aig(self):
+        ntk = build_sample(Aig)
+        cuts = enumerate_cuts(ntk, k=4)
+        check_cut_functions(ntk, cuts)
+
+    def test_cut_functions_xmg(self):
+        ntk = build_sample(Xmg)
+        cuts = enumerate_cuts(ntk, k=4)
+        check_cut_functions(ntk, cuts)
+
+    def test_k_bound_respected(self):
+        ntk = build_sample(Aig)
+        for k in (2, 3, 4):
+            cuts = enumerate_cuts(ntk, k=k)
+            for g in ntk.gates():
+                for c in cuts[g]:
+                    assert len(c.leaves) <= k
+
+    def test_cut_limit_respected(self):
+        ntk = build_sample(MixedNetwork)
+        cuts = enumerate_cuts(ntk, k=4, cut_limit=3)
+        for g in ntk.gates():
+            assert len(cuts[g]) <= 3
+
+    def test_nodes_restriction(self):
+        ntk = build_sample(Aig)
+        last_gate = max(ntk.gates())
+        cuts = enumerate_cuts(ntk, k=4, nodes=[last_gate])
+        assert cuts[last_gate]  # computed
+        # function check on computed subset only
+        check = [g for g in ntk.gates() if cuts[g]]
+        assert last_gate in check
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_networks_cut_correctness(self, seed):
+        import random
+        rng = random.Random(seed)
+        ntk = MixedNetwork()
+        lits = [ntk.create_pi() for _ in range(5)]
+        for _ in range(15):
+            op = rng.choice(["and", "or", "xor", "maj", "xor3"])
+            picks = [rng.choice(lits) ^ rng.randint(0, 1) for _ in range(3)]
+            if op == "and":
+                lits.append(ntk.create_and(picks[0], picks[1]))
+            elif op == "or":
+                lits.append(ntk.create_or(picks[0], picks[1]))
+            elif op == "xor":
+                lits.append(ntk.create_xor(picks[0], picks[1]))
+            elif op == "maj":
+                lits.append(ntk.create_maj(*picks))
+            else:
+                lits.append(ntk.create_xor3(*picks))
+        ntk.create_po(lits[-1])
+        cuts = enumerate_cuts(ntk, k=4, cut_limit=6)
+        check_cut_functions(ntk, cuts)
+
+
+class TestCutObject:
+    def test_dominates(self):
+        c1 = Cut((1, 2), None, 5)
+        c2 = Cut((1, 2, 3), None, 5)
+        assert c1.dominates(c2)
+        assert not c2.dominates(c1)
+
+    def test_eq_hash(self):
+        a = Cut((1, 2), None, 5)
+        b = Cut((1, 2), None, 5)
+        assert a == b and hash(a) == hash(b)
+        c = Cut((1, 2), None, 5, phase=True)
+        assert a != c

@@ -1,0 +1,73 @@
+"""Property-based round-trip tests for the I/O formats."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import read_aag, read_aig_binary, read_blif, write_aag, write_aig_binary, write_blif
+from repro.networks import Aig, LutNetwork
+from repro.sat import cec
+from repro.truth.truth_table import TruthTable
+
+
+def random_aig(seed: int, n_pis: int = 5, n_gates: int = 30) -> Aig:
+    rng = random.Random(seed)
+    ntk = Aig()
+    lits = [ntk.create_pi() for _ in range(n_pis)]
+    for _ in range(n_gates):
+        a = rng.choice(lits) ^ rng.randint(0, 1)
+        b = rng.choice(lits) ^ rng.randint(0, 1)
+        lits.append(ntk.create_and(a, b))
+    for _ in range(3):
+        ntk.create_po(rng.choice(lits) ^ rng.randint(0, 1))
+    return ntk
+
+
+def random_lut_network(seed: int, k: int = 4) -> LutNetwork:
+    rng = random.Random(seed)
+    lut = LutNetwork(k)
+    nodes = [lut.create_pi() for _ in range(4)]
+    for _ in range(10):
+        arity = rng.randint(1, k)
+        fis = [rng.choice(nodes) for _ in range(arity)]
+        bits = rng.getrandbits(1 << arity)
+        nodes.append(lut.create_lut(fis, TruthTable(arity, bits)))
+    for _ in range(2):
+        lut.create_po(rng.choice(nodes), rng.random() < 0.5)
+    return lut
+
+
+class TestAigerProperty:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_ascii_roundtrip(self, seed):
+        ntk = random_aig(seed)
+        back = read_aag(write_aag(ntk))
+        assert cec(ntk, back)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_binary_roundtrip(self, seed):
+        ntk = random_aig(seed)
+        back = read_aig_binary(write_aig_binary(ntk))
+        assert cec(ntk, back)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_binary_and_ascii_agree(self, seed):
+        ntk = random_aig(seed)
+        a = read_aag(write_aag(ntk))
+        b = read_aig_binary(write_aig_binary(ntk))
+        assert cec(a, b)
+
+
+class TestBlifProperty:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_lut_roundtrip_preserves_function(self, seed):
+        lut = random_lut_network(seed)
+        back = read_blif(write_blif(lut), k=lut.k)
+        assert back.num_pis() == lut.num_pis()
+        # compare PO functions exhaustively (4 PIs)
+        assert lut.simulate_truth_tables() == back.simulate_truth_tables()

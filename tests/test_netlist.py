@@ -1,0 +1,111 @@
+"""Tests for the gate-level cell netlist container and DOT output."""
+
+import pytest
+
+from repro.circuits import build
+from repro.io import write_choice_dot, write_dot
+from repro.mapping import asap7_library, asic_map
+from repro.networks import Aig, CellNetlist
+from repro.truth.truth_table import TruthTable
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return asap7_library()
+
+
+class TestCellNetlist:
+    def test_basic_construction(self, lib):
+        nl = CellNetlist("test")
+        a = nl.create_pi("a")
+        b = nl.create_pi("b")
+        g = nl.add_cell(lib.cell("NAND2x1"), (a, b))
+        nl.create_po(g, "y")
+        assert nl.num_cells() == 1
+        assert nl.simulate([True, True]) == [False]
+        assert nl.simulate([True, False]) == [True]
+
+    def test_pin_count_checked(self, lib):
+        nl = CellNetlist()
+        a = nl.create_pi()
+        with pytest.raises(ValueError):
+            nl.add_cell(lib.cell("NAND2x1"), (a,))
+
+    def test_unknown_net_checked(self, lib):
+        nl = CellNetlist()
+        nl.create_pi()
+        with pytest.raises(ValueError):
+            nl.add_cell(lib.cell("INVx1"), (99,))
+
+    def test_const_nets(self, lib):
+        nl = CellNetlist()
+        nl.create_pi()
+        nl.create_po(nl.const0)
+        nl.create_po(nl.const1)
+        assert nl.simulate([True]) == [False, True]
+        assert nl.area() == 0.0
+
+    def test_area_is_sum(self, lib):
+        nl = CellNetlist()
+        a = nl.create_pi()
+        b = nl.create_pi()
+        n1 = nl.add_cell(lib.cell("NAND2x1"), (a, b))
+        n2 = nl.add_cell(lib.cell("INVx1"), (n1,))
+        nl.create_po(n2)
+        assert nl.area() == pytest.approx(
+            lib.cell("NAND2x1").area + lib.cell("INVx1").area
+        )
+
+    def test_delay_chains_pin_delays(self, lib):
+        nl = CellNetlist()
+        a = nl.create_pi()
+        b = nl.create_pi()
+        n1 = nl.add_cell(lib.cell("NAND2x1"), (a, b))
+        n2 = nl.add_cell(lib.cell("INVx1"), (n1,))
+        nl.create_po(n2)
+        expect = lib.cell("NAND2x1").max_delay() + lib.cell("INVx1").max_delay()
+        assert nl.delay() == pytest.approx(expect)
+
+    def test_levels(self, lib):
+        nl = CellNetlist()
+        a = nl.create_pi()
+        n1 = nl.add_cell(lib.cell("INVx1"), (a,))
+        n2 = nl.add_cell(lib.cell("INVx1"), (n1,))
+        nl.create_po(n2)
+        assert nl.levels()[n2] == 2
+
+    def test_truth_tables(self, lib):
+        nl = CellNetlist()
+        a = nl.create_pi()
+        b = nl.create_pi()
+        c = nl.create_pi()
+        m = nl.add_cell(lib.cell("MAJx2"), (a, b, c))
+        nl.create_po(m)
+        tt = nl.simulate_truth_tables()[0]
+        assert tt == TruthTable.from_function(3, lambda x, y, z: (x + y + z) >= 2)
+
+    def test_to_logic_network_and_back(self, lib):
+        from repro.sat import cec
+
+        ntk = build("router", "tiny")
+        nl = asic_map(ntk, objective="area")
+        back = nl.to_logic_network(Aig)
+        assert cec(ntk, back)
+
+
+class TestDot:
+    def test_write_dot_wellformed(self):
+        ntk = build("ctrl", "tiny")
+        text = write_dot(ntk)
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+        assert text.count("triangle") >= ntk.num_pis()
+
+    def test_choice_dot_has_equiv_edges(self):
+        from repro.core import MchParams, build_mch
+        from repro.networks import Xmg
+
+        ntk = build("int2float", "tiny")
+        ch = build_mch(ntk, MchParams(representations=(Xmg,)))
+        text = write_choice_dot(ch)
+        assert "color=red" in text

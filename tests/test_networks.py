@@ -1,0 +1,235 @@
+"""Tests for logic-network DAGs, strashing and conversions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks import Aig, GateType, Mig, MixedNetwork, Xag, Xmg, convert
+from repro.networks.base import lit_not
+from repro.truth.truth_table import TruthTable
+
+
+def build_full_adder(ntk):
+    a = ntk.create_pi("a")
+    b = ntk.create_pi("b")
+    cin = ntk.create_pi("cin")
+    s = ntk.create_xor3(a, b, cin)
+    cout = ntk.create_maj(a, b, cin)
+    ntk.create_po(s, "sum")
+    ntk.create_po(cout, "cout")
+    return ntk
+
+
+class TestConstruction:
+    def test_constants(self):
+        ntk = Aig()
+        assert ntk.const0 == 0
+        assert ntk.const1 == 1
+
+    def test_and_normalization(self):
+        ntk = Aig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        assert ntk.create_and(a, ntk.const0) == ntk.const0
+        assert ntk.create_and(a, ntk.const1) == a
+        assert ntk.create_and(a, a) == a
+        assert ntk.create_and(a, lit_not(a)) == ntk.const0
+        assert ntk.create_and(a, b) == ntk.create_and(b, a)  # strash + sort
+
+    def test_strash_no_duplicates(self):
+        ntk = Aig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        n1 = ntk.create_and(a, b)
+        n2 = ntk.create_and(a, b)
+        assert n1 == n2
+        assert ntk.num_gates() == 1
+
+    def test_xor_phase_normalization(self):
+        ntk = Xag()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        x1 = ntk.create_xor(a, b)
+        x2 = ntk.create_xor(lit_not(a), b)
+        assert x1 == lit_not(x2)
+        assert ntk.num_gates() == 1
+
+    def test_xor_collapses(self):
+        ntk = Xag()
+        a = ntk.create_pi()
+        assert ntk.create_xor(a, a) == ntk.const0
+        assert ntk.create_xor(a, lit_not(a)) == ntk.const1
+        assert ntk.create_xor(a, ntk.const0) == a
+        assert ntk.create_xor(a, ntk.const1) == lit_not(a)
+
+    def test_maj_normalization(self):
+        ntk = Mig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        c = ntk.create_pi()
+        assert ntk.create_maj(a, a, b) == a
+        assert ntk.create_maj(a, lit_not(a), c) == c
+        m1 = ntk.create_maj(a, b, c)
+        m2 = ntk.create_maj(lit_not(a), lit_not(b), lit_not(c))
+        assert m1 == lit_not(m2)  # self-duality
+
+    def test_aig_disallows_xor_node(self):
+        ntk = Aig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        x = ntk.create_xor(a, b)  # decomposed into ANDs
+        assert ntk.num_gates() == 3
+        tts = None
+        ntk.create_po(x)
+        tts = ntk.simulate_truth_tables()
+        assert tts[0] == TruthTable.var(2, 0) ^ TruthTable.var(2, 1)
+
+    def test_mig_and_is_maj_with_const(self):
+        ntk = Mig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        g = ntk.create_and(a, b)
+        node = g >> 1
+        assert ntk.node_type(node) == GateType.MAJ
+        assert 0 in [f & ~1 for f in ntk.fanins(node)]
+
+    def test_po_unknown_node_raises(self):
+        ntk = Aig()
+        with pytest.raises(ValueError):
+            ntk.create_po(100)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("cls", [Aig, Xag, Mig, Xmg, MixedNetwork])
+    def test_full_adder_truth(self, cls):
+        ntk = build_full_adder(cls())
+        tts = ntk.simulate_truth_tables()
+        s_expect = TruthTable.from_function(3, lambda a, b, c: (a + b + c) % 2 == 1)
+        c_expect = TruthTable.from_function(3, lambda a, b, c: (a + b + c) >= 2)
+        assert tts[0] == s_expect
+        assert tts[1] == c_expect
+
+    def test_simulate_single(self):
+        ntk = build_full_adder(Aig())
+        assert ntk.simulate([True, True, False]) == [False, True]
+        assert ntk.simulate([True, False, False]) == [True, False]
+
+    def test_mux(self):
+        for cls in (Aig, Mig, Xmg):
+            ntk = cls()
+            s = ntk.create_pi()
+            t = ntk.create_pi()
+            e = ntk.create_pi()
+            ntk.create_po(ntk.create_mux(s, t, e))
+            tt = ntk.simulate_truth_tables()[0]
+            expect = TruthTable.from_function(3, lambda s_, t_, e_: t_ if s_ else e_)
+            assert tt == expect
+
+
+class TestAnalysis:
+    def test_levels_depth(self):
+        ntk = Aig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        c = ntk.create_pi()
+        g1 = ntk.create_and(a, b)
+        g2 = ntk.create_and(g1, c)
+        ntk.create_po(g2)
+        lev = ntk.levels()
+        assert lev[g1 >> 1] == 1
+        assert lev[g2 >> 1] == 2
+        assert ntk.depth() == 2
+
+    def test_fanout_counts(self):
+        ntk = Aig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        g1 = ntk.create_and(a, b)
+        g2 = ntk.create_and(g1, a)
+        ntk.create_po(g1)
+        ntk.create_po(g2)
+        cnt = ntk.fanout_counts()
+        assert cnt[g1 >> 1] == 2  # feeds g2 and a PO
+        assert cnt[a >> 1] == 2
+
+    def test_tfi_tfo(self):
+        ntk = Aig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        c = ntk.create_pi()
+        g1 = ntk.create_and(a, b)
+        g2 = ntk.create_and(g1, c)
+        ntk.create_po(g2)
+        assert (g1 >> 1) in ntk.tfi(g2 >> 1)
+        assert (g2 >> 1) in ntk.tfo(g1 >> 1)
+        assert (c >> 1) not in ntk.tfi(g1 >> 1)
+
+    def test_mffc(self):
+        ntk = Aig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        c = ntk.create_pi()
+        g1 = ntk.create_and(a, b)   # only used by g2
+        g2 = ntk.create_and(g1, c)
+        ntk.create_po(g2)
+        cone = ntk.mffc(g2 >> 1)
+        assert cone == {g1 >> 1, g2 >> 1}
+
+    def test_mffc_stops_at_shared(self):
+        ntk = Aig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        c = ntk.create_pi()
+        g1 = ntk.create_and(a, b)
+        g2 = ntk.create_and(g1, c)
+        ntk.create_po(g1)  # g1 shared with a PO
+        ntk.create_po(g2)
+        assert ntk.mffc(g2 >> 1) == {g2 >> 1}
+
+
+class TestCopyConvert:
+    @pytest.mark.parametrize("dst_cls", [Aig, Xag, Mig, Xmg, MixedNetwork])
+    def test_convert_preserves_function(self, dst_cls):
+        src = build_full_adder(MixedNetwork())
+        dst = convert(src, dst_cls)
+        assert dst.simulate_truth_tables() == src.simulate_truth_tables()
+        assert dst.pi_names == src.pi_names
+        assert dst.po_names == src.po_names
+
+    def test_one_to_one_aig_to_mig_size(self):
+        src = Aig()
+        a = src.create_pi()
+        b = src.create_pi()
+        c = src.create_pi()
+        src.create_po(src.create_and(src.create_and(a, b), c))
+        dst = convert(src, Mig)
+        assert dst.num_gates() == src.num_gates()  # gate-for-gate embedding
+
+    def test_cleanup_removes_dangling(self):
+        ntk = Aig()
+        a = ntk.create_pi()
+        b = ntk.create_pi()
+        g1 = ntk.create_and(a, b)
+        ntk.create_and(a, lit_not(b))  # dangling
+        ntk.create_po(g1)
+        clean = ntk.cleanup()
+        assert clean.num_gates() == 1
+        assert clean.num_pis() == 2
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=40, deadline=None)
+    def test_random_function_conversion_roundtrip(self, bits):
+        tt = TruthTable(3, bits)
+        src = MixedNetwork()
+        pis = [src.create_pi() for _ in range(3)]
+        # minterm-SOP construction
+        terms = []
+        for m in range(8):
+            if tt.get_bit(m):
+                lits = [pis[v] if (m >> v) & 1 else lit_not(pis[v]) for v in range(3)]
+                terms.append(src.create_nary_and(lits))
+        out = src.create_nary_or(terms)
+        src.create_po(out)
+        assert src.simulate_truth_tables()[0] == tt
+        for cls in (Aig, Mig, Xmg):
+            assert convert(src, cls).simulate_truth_tables()[0] == tt

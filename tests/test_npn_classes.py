@@ -1,0 +1,46 @@
+"""Cross-checks of NPN canonization against known class counts.
+
+The number of NPN equivalence classes of Boolean functions is a classical
+sequence (OEIS A000370): 2 classes for n=1 (counting constants as one class
+with the projection? — precisely: 2, 4, 14, 222 for n = 0..3 including both
+constants as one class each).  Enumerating all functions and counting
+distinct canonical forms validates the entire transform machinery at once.
+"""
+
+from repro.truth.npn import canonicalize
+from repro.truth.truth_table import TruthTable
+
+
+def count_classes(n: int) -> int:
+    seen = set()
+    for bits in range(1 << (1 << n)):
+        canon, _ = canonicalize(TruthTable(n, bits))
+        seen.add(canon.bits)
+    return len(seen)
+
+
+class TestNpnClassCounts:
+    def test_zero_vars(self):
+        # two constants, NPN-equivalent to each other via output negation
+        assert count_classes(0) == 1
+
+    def test_one_var(self):
+        # {const} and {x / !x}
+        assert count_classes(1) == 2
+
+    def test_two_vars(self):
+        # classic result: 4 NPN classes of 2-input functions
+        assert count_classes(2) == 4
+
+    def test_three_vars(self):
+        # classic result: 14 NPN classes of 3-input functions
+        assert count_classes(3) == 14
+
+
+class TestClassRepresentatives:
+    def test_every_class_member_maps_to_itself(self):
+        # canonical forms must be fixpoints of canonization
+        for bits in range(256):
+            canon, _ = canonicalize(TruthTable(3, bits))
+            again, _ = canonicalize(canon)
+            assert again == canon

@@ -1,0 +1,127 @@
+"""Tests for supergate generation and SAT-based exact synthesis."""
+
+import pytest
+
+from repro.circuits import build
+from repro.mapping import MatchTable, asap7_library, asic_map
+from repro.mapping.supergates import Supergate, expand_with_supergates
+from repro.networks import Aig
+from repro.sat import cec
+from repro.synthesis import build_exact, exact_gate_count, exact_synthesize
+from repro.truth.truth_table import TruthTable
+
+
+class TestSupergates:
+    @pytest.fixture(scope="class")
+    def big_lib(self):
+        return expand_with_supergates(asap7_library())
+
+    def test_expansion_adds_cells(self, big_lib):
+        assert len(big_lib) > len(asap7_library())
+        assert any(isinstance(c, Supergate) for c in big_lib)
+
+    def test_supergate_functions_correct(self, big_lib):
+        for sg in big_lib:
+            if not isinstance(sg, Supergate):
+                continue
+            # recompute the composition semantically
+            m_in = sg.inner.num_pins
+            for minterm in range(1 << sg.num_pins):
+                vals = [bool((minterm >> i) & 1) for i in range(sg.num_pins)]
+                inner_out = sg.inner.function.evaluate(vals[:m_in])
+                outer_in = []
+                rest = vals[m_in:]
+                ri = 0
+                for pin in range(sg.outer.num_pins):
+                    if pin == sg.position:
+                        outer_in.append(inner_out)
+                    else:
+                        outer_in.append(rest[ri])
+                        ri += 1
+                assert sg.function.get_bit(minterm) == sg.outer.function.evaluate(outer_in), sg.name
+
+    def test_supergate_area_and_delay(self, big_lib):
+        for sg in big_lib:
+            if isinstance(sg, Supergate):
+                assert sg.area == pytest.approx(sg.outer.area + sg.inner.area)
+                assert sg.max_delay() >= sg.outer.max_delay()
+
+    def test_match_table_accepts_supergates(self, big_lib):
+        table = MatchTable(big_lib)
+        assert table.num_entries() > MatchTable(asap7_library()).num_entries()
+
+    def test_mapping_with_supergates_equivalent(self, big_lib):
+        ntk = build("int2float", "tiny")
+        nl = asic_map(ntk, library=big_lib, objective="area")
+        assert cec(ntk, nl.to_logic_network(Aig))
+        # netlist must only contain real cells, never virtual supergates
+        assert all("__" not in name for name in nl.cell_histogram())
+
+    def test_netlist_expansion_of_supergate(self, big_lib):
+        from repro.networks import CellNetlist
+
+        sg = next(c for c in big_lib if isinstance(c, Supergate))
+        nl = CellNetlist()
+        pins = [nl.create_pi() for _ in range(sg.num_pins)]
+        out = nl.add_cell(sg, pins)
+        nl.create_po(out)
+        assert nl.num_cells() == 2  # inner + outer
+        # function preserved
+        for m in range(1 << sg.num_pins):
+            vals = [bool((m >> i) & 1) for i in range(sg.num_pins)]
+            assert nl.simulate(vals)[0] == sg.function.get_bit(m)
+
+
+class TestExactSynthesis:
+    def test_known_optima(self):
+        xor2 = TruthTable.from_function(2, lambda a, b: a != b)
+        assert exact_gate_count(xor2, ops=("and",)) == 3
+        assert exact_gate_count(xor2, ops=("and", "xor")) == 1
+        maj = TruthTable.from_hex(3, "e8")
+        assert exact_gate_count(maj, ops=("and",)) == 4
+
+    def test_and2_is_one_gate(self):
+        and2 = TruthTable.from_function(2, lambda a, b: a and b)
+        assert exact_gate_count(and2) == 1
+
+    def test_literal_recipe(self):
+        tt = ~TruthTable.var(3, 1)
+        recipe = exact_synthesize(tt)
+        assert recipe[0] == ()  # no gates needed
+        ntk = Aig()
+        leaves = [ntk.create_pi() for _ in range(3)]
+        ntk.create_po(build_exact(ntk, recipe, leaves))
+        assert ntk.simulate_truth_tables()[0] == tt
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValueError):
+            exact_synthesize(TruthTable.const(2, True))
+
+    def test_too_many_vars_rejected(self):
+        with pytest.raises(ValueError):
+            exact_synthesize(TruthTable.var(5, 0))
+
+    @pytest.mark.parametrize("bits", [0x96, 0x8F, 0x1B, 0xE9])
+    def test_random_3var_recipes_verified(self, bits):
+        tt = TruthTable(3, bits)
+        recipe = exact_synthesize(tt, ops=("and",), max_gates=8)
+        assert recipe is not None
+        ntk = Aig()
+        leaves = [ntk.create_pi() for _ in range(3)]
+        ntk.create_po(build_exact(ntk, recipe, leaves))
+        assert ntk.simulate_truth_tables()[0] == tt
+
+    def test_xag_never_worse_than_aig(self):
+        for bits in (0x96, 0x69, 0x3C):
+            tt = TruthTable(3, bits)
+            aig_n = exact_gate_count(tt, ops=("and",), max_gates=8)
+            xag_n = exact_gate_count(tt, ops=("and", "xor"), max_gates=8)
+            assert xag_n <= aig_n
+
+    def test_npn_cache_hits(self):
+        # NPN-equivalent functions share the cached canonical recipe
+        tt = TruthTable.from_hex(3, "e8")
+        variant = tt.flip(0).flip(2)
+        r1 = exact_synthesize(tt)
+        r2 = exact_synthesize(variant)
+        assert len(r1[0]) == len(r2[0])

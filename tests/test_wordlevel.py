@@ -1,0 +1,140 @@
+"""Tests for the word-level datapath builders."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.wordlevel import (
+    add_words,
+    constant_word,
+    equal_words,
+    less_than,
+    multiply_words,
+    mux_word,
+    negate_word,
+    popcount,
+    priority_encoder,
+    shift_left,
+    shift_right,
+    sub_words,
+)
+from repro.networks import Aig, Xmg
+
+
+def evaluate(ntk, out_lits, assignment):
+    for l in out_lits:
+        ntk.create_po(l)
+    res = ntk.simulate(assignment)
+    # remove the POs we just added so the helper can be reused
+    ntk._pos = ntk._pos[: len(ntk._pos) - len(out_lits)]
+    ntk._po_names = ntk._po_names[: len(ntk._po_names) - len(out_lits)]
+    return sum(int(b) << i for i, b in enumerate(res))
+
+
+def bits_of(value, width):
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+class TestWordOps:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_add(self, x, y):
+        ntk = Aig()
+        a = [ntk.create_pi() for _ in range(8)]
+        b = [ntk.create_pi() for _ in range(8)]
+        out = add_words(ntk, a, b)
+        assert evaluate(ntk, out, bits_of(x, 8) + bits_of(y, 8)) == x + y
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=40, deadline=None)
+    def test_sub_with_borrow_flag(self, x, y):
+        ntk = Aig()
+        a = [ntk.create_pi() for _ in range(8)]
+        b = [ntk.create_pi() for _ in range(8)]
+        out = sub_words(ntk, a, b)
+        got = evaluate(ntk, out[:8], bits_of(x, 8) + bits_of(y, 8))
+        flag = evaluate(ntk, [out[8]], bits_of(x, 8) + bits_of(y, 8))
+        assert got == (x - y) % 256
+        assert flag == (1 if x >= y else 0)
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_negate(self, x):
+        ntk = Aig()
+        a = [ntk.create_pi() for _ in range(8)]
+        out = negate_word(ntk, a)
+        assert evaluate(ntk, out, bits_of(x, 8)) == (-x) % 256
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    @settings(max_examples=30, deadline=None)
+    def test_multiply(self, x, y):
+        ntk = Aig()
+        a = [ntk.create_pi() for _ in range(6)]
+        b = [ntk.create_pi() for _ in range(6)]
+        out = multiply_words(ntk, a, b)
+        assert evaluate(ntk, out, bits_of(x, 6) + bits_of(y, 6)) == x * y
+
+    @given(st.integers(0, 127), st.integers(0, 127))
+    @settings(max_examples=30, deadline=None)
+    def test_less_than_and_equal(self, x, y):
+        ntk = Aig()
+        a = [ntk.create_pi() for _ in range(7)]
+        b = [ntk.create_pi() for _ in range(7)]
+        lt = less_than(ntk, a, b)
+        eq = equal_words(ntk, a, b)
+        stim = bits_of(x, 7) + bits_of(y, 7)
+        assert evaluate(ntk, [lt], stim) == (1 if x < y else 0)
+        assert evaluate(ntk, [eq], stim) == (1 if x == y else 0)
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_shifts(self, d, s):
+        ntk = Aig()
+        data = [ntk.create_pi() for _ in range(8)]
+        amt = [ntk.create_pi() for _ in range(3)]
+        left = shift_left(ntk, data, amt)
+        right = shift_right(ntk, data, amt)
+        stim = bits_of(d, 8) + bits_of(s, 3)
+        assert evaluate(ntk, left, stim) == (d << s) & 0xFF
+        assert evaluate(ntk, right, stim) == d >> s
+
+    def test_mux_word(self):
+        ntk = Aig()
+        s = ntk.create_pi()
+        hi = [ntk.create_pi() for _ in range(4)]
+        lo = [ntk.create_pi() for _ in range(4)]
+        out = mux_word(ntk, s, hi, lo)
+        assert evaluate(ntk, out, [True] + bits_of(0xA, 4) + bits_of(0x5, 4)) == 0xA
+        assert evaluate(ntk, out, [False] + bits_of(0xA, 4) + bits_of(0x5, 4)) == 0x5
+
+    def test_constant_word(self):
+        ntk = Aig()
+        w = constant_word(ntk, 0b1010, 4)
+        assert w == [ntk.const0, ntk.const1, ntk.const0, ntk.const1]
+
+    def test_width_mismatch(self):
+        ntk = Aig()
+        a = [ntk.create_pi() for _ in range(3)]
+        b = [ntk.create_pi() for _ in range(4)]
+        with pytest.raises(ValueError):
+            add_words(ntk, a, b)
+
+    @given(st.integers(1, 12), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_popcount_random(self, n, data):
+        bits = [data.draw(st.booleans()) for _ in range(n)]
+        ntk = Aig()
+        xs = [ntk.create_pi() for _ in range(n)]
+        cnt = popcount(ntk, xs)
+        assert evaluate(ntk, cnt, bits) == sum(bits)
+
+    def test_priority_encoder_in_xmg(self):
+        # builders must work in any representation
+        ntk = Xmg()
+        req = [ntk.create_pi() for _ in range(5)]
+        index, valid = priority_encoder(ntk, req)
+        stim = [False, True, False, True, False]
+        assert evaluate(ntk, index, stim) == 3
+        assert evaluate(ntk, [valid], stim) == 1
