@@ -1,0 +1,91 @@
+"""Micro-benchmark: cut-enumeration throughput and full K-LUT mapping.
+
+Measures, on the largest bundled circuit at the selected scale:
+
+* cut-database construction (priority-cut enumeration with exact cut
+  functions, k=6, cut_limit=8) — reported as nodes/second;
+* one full ``lut_map`` run (enumeration + all covering passes).
+
+Results are written to ``benchmarks/results/BENCH_cuts.json`` so successive
+revisions can be compared (the engine refactor targets >= 1.5x over the
+seed on the combined enumeration + mapping time).
+
+Run standalone (``python benchmarks/bench_cuts.py``) or under pytest.
+"""
+
+import json
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, SCALE
+
+from repro.circuits import ALL_BENCHMARKS, build
+from repro.cuts import expand_cache_stats
+from repro.cuts.database import CutDatabase
+from repro.mapping import lut_map
+
+K = 6
+CUT_LIMIT = 8
+
+
+def largest_circuit(scale: str):
+    """(name, network) of the bundled circuit with the most gates."""
+    best_name, best_ntk = None, None
+    for name in ALL_BENCHMARKS:
+        ntk = build(name, scale)
+        if best_ntk is None or ntk.num_gates() > best_ntk.num_gates():
+            best_name, best_ntk = name, ntk
+    return best_name, best_ntk
+
+
+def measure(scale: str = SCALE) -> dict:
+    name, ntk = largest_circuit(scale)
+
+    t0 = time.perf_counter()
+    db = CutDatabase(ntk, k=K, cut_limit=CUT_LIMIT)
+    t_enum = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    lut = lut_map(ntk, k=K, cut_limit=CUT_LIMIT, objective="area")
+    t_map = time.perf_counter() - t0
+
+    n_nodes = ntk.num_nodes()
+    return {
+        "circuit": name,
+        "scale": scale,
+        "k": K,
+        "cut_limit": CUT_LIMIT,
+        "nodes": n_nodes,
+        "gates": ntk.num_gates(),
+        "cuts": db.num_cuts(),
+        "enum_seconds": round(t_enum, 6),
+        "enum_nodes_per_sec": round(n_nodes / t_enum, 1),
+        "lut_map_seconds": round(t_map, 6),
+        "total_seconds": round(t_enum + t_map, 6),
+        "luts": lut.num_luts(),
+        "lut_depth": lut.depth(),
+        "cut_db_stats": db.stats,
+        "expand_cache": expand_cache_stats(),
+    }
+
+
+def write_json(result: dict) -> None:
+    path = RESULTS_DIR / "BENCH_cuts.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    print(json.dumps({k: v for k, v in result.items()
+                      if k not in ("cut_db_stats", "expand_cache")}, indent=2))
+
+
+@pytest.mark.benchmark(group="cuts")
+def test_bench_cuts(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_json(result)
+    # sanity: the mapping must actually cover the circuit
+    assert result["luts"] > 0
+    assert result["cuts"] > result["gates"]
+
+
+if __name__ == "__main__":
+    write_json(measure())

@@ -32,7 +32,15 @@ from .networks import (
 )
 from .truth import TruthTable
 from .core import ChoiceNetwork, MchParams, build_dch, build_mch
-from .mapping import asap7_library, asic_map, graph_map, graph_map_iterate, lut_map
+from .cuts import CutDatabase
+from .mapping import (
+    MappingSession,
+    asap7_library,
+    asic_map,
+    graph_map,
+    graph_map_iterate,
+    lut_map,
+)
 from .opt import balance, compress2rs, sweep
 from .sat import cec
 
@@ -54,6 +62,8 @@ __all__ = [
     "MchParams",
     "build_mch",
     "build_dch",
+    "MappingSession",
+    "CutDatabase",
     "lut_map",
     "asic_map",
     "graph_map",

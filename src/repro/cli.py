@@ -21,7 +21,7 @@ from pathlib import Path
 
 from .circuits import ALL_BENCHMARKS, build
 from .core import MchParams, build_mch
-from .mapping import asic_map, lut_map
+from .mapping import MappingSession, asic_map, lut_map
 from .networks import Aig, Mig, Xag, Xmg
 from .opt import compress2rs
 from .sat import cec
@@ -78,13 +78,23 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def _print_engine_stats(session: MappingSession) -> None:
+    import json
+
+    print("engine stats:")
+    print(json.dumps(session.stats(), indent=2, default=str))
+
+
 def cmd_map_luts(args) -> int:
     ntk = _load(args.circuit, args.scale)
     subject = _mch_of(ntk, args) if args.mch else ntk
     if args.mch:
         print(f"choice network: {subject}")
-    lut = lut_map(subject, k=args.k, objective=args.objective)
+    session = MappingSession.of(subject)
+    lut = lut_map(session, k=args.k, objective=args.objective)
     print(f"{lut.num_luts()} LUTs, depth {lut.depth()}")
+    if args.engine_stats:
+        _print_engine_stats(session)
     if args.verify:
         print("cec:", "ok" if cec(ntk, lut.to_logic_network(Aig)) else "FAILED")
     if args.output:
@@ -100,8 +110,11 @@ def cmd_map_asic(args) -> int:
     subject = _mch_of(ntk, args) if args.mch else ntk
     if args.mch:
         print(f"choice network: {subject}")
-    nl = asic_map(subject, objective=args.objective)
+    session = MappingSession.of(subject)
+    nl = asic_map(session, objective=args.objective)
     print(f"{nl.num_cells()} cells, area {nl.area():.2f} µm², delay {nl.delay():.2f} ps")
+    if args.engine_stats:
+        _print_engine_stats(session)
     if args.verify:
         print("cec:", "ok" if cec(ntk, nl.to_logic_network(Aig)) else "FAILED")
     if args.output:
@@ -146,6 +159,8 @@ def make_parser() -> argparse.ArgumentParser:
             p.add_argument("--mch", action="store_true", help="use mixed structural choices")
             p.add_argument("--reps", default="xmg", help="candidate reps, e.g. xmg,xag")
             p.add_argument("--ratio", type=float, default=1.0, help="critical-path ratio r")
+            p.add_argument("--engine-stats", action="store_true",
+                           help="print mapping-engine cut-database and cache stats")
 
     p = sub.add_parser("info", help="print circuit statistics")
     p.add_argument("circuit")

@@ -36,6 +36,8 @@ class ChoiceNetwork:
         self.choices_of: Dict[int, List[Tuple[int, bool]]] = {}
         #: choice node -> (representative, phase)
         self.repr_of: Dict[int, Tuple[int, bool]] = {}
+        # memoized processing order, keyed by (network version, #choices)
+        self._order_cache: Optional[Tuple[Tuple[int, int], List[int]]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -91,8 +93,18 @@ class ChoiceNetwork:
         """Topological node order where choice roots precede representatives.
 
         Standard Kahn's algorithm over structural fanin edges plus one extra
-        edge per equivalence link (choice root -> representative).
+        edge per equivalence link (choice root -> representative).  The order
+        is memoized and recomputed only when the network or the equivalence
+        structure changes; treat the returned list as read-only.
         """
+        key = (self.ntk.version, self.num_choices())
+        if self._order_cache is not None and self._order_cache[0] == key:
+            return self._order_cache[1]
+        order = self._compute_processing_order()
+        self._order_cache = (key, order)
+        return order
+
+    def _compute_processing_order(self) -> List[int]:
         ntk = self.ntk
         n = ntk.num_nodes()
         indeg = [0] * n

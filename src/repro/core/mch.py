@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple, Type
 
-from ..cuts.enumeration import enumerate_cuts
+from ..cuts.database import CutDatabase
 from ..networks.base import GateType, LogicNetwork
 from ..networks.mixed import MixedNetwork
 from ..synthesis.strategies import StrategyLibrary, synthesize_candidates
@@ -80,8 +80,8 @@ def build_mch(ntk: LogicNetwork, params: Optional[MchParams] = None) -> ChoiceNe
     # line 2: critical-path node collection
     critical = critical_nodes(mixed, params.ratio)
 
-    # line 3: cut enumeration on the original structure
-    cuts = enumerate_cuts(mixed, k=params.cut_size, cut_limit=params.cut_limit)
+    # line 3: cut enumeration on the original structure (shared flat database)
+    cuts = CutDatabase(mixed, k=params.cut_size, cut_limit=params.cut_limit)
 
     # Algorithm 2: multi-strategy structural choices.
     # Snapshot the original gate list — candidates appended during the loop
@@ -107,11 +107,11 @@ def build_mch(ntk: LogicNetwork, params: Optional[MchParams] = None) -> ChoiceNe
     return choice_net
 
 
-def _node_cut_functions(mixed: MixedNetwork, cuts, node: int, params: MchParams):
+def _node_cut_functions(mixed: MixedNetwork, cuts: CutDatabase, node: int, params: MchParams):
     """(tt, leaf literals) pairs for the node's most useful cuts."""
     out = []
     taken = 0
-    for cut in cuts[node]:
+    for cut in cuts.cuts(node):
         if len(cut.leaves) < params.min_cut_size:
             continue
         if taken >= params.max_cuts_per_node:

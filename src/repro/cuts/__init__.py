@@ -1,6 +1,22 @@
 """k-feasible cut enumeration with cut functions."""
 
 from .cut import Cut
-from .enumeration import enumerate_cuts, expand_tt
+from .database import CutDatabase, leaf_signature
+from .enumeration import (
+    clear_expand_cache,
+    enumerate_cuts,
+    expand_cache_stats,
+    expand_tt,
+    set_expand_cache_limit,
+)
 
-__all__ = ["Cut", "enumerate_cuts", "expand_tt"]
+__all__ = [
+    "Cut",
+    "CutDatabase",
+    "leaf_signature",
+    "enumerate_cuts",
+    "expand_tt",
+    "expand_cache_stats",
+    "set_expand_cache_limit",
+    "clear_expand_cache",
+]

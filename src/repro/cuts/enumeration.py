@@ -6,20 +6,78 @@ exact cut function as a truth table.  Cut functions are what both the
 K-LUT mapper (LUT content) and the ASIC mapper (Boolean matching against
 library cells) consume, and what MCH's multi-strategy resynthesis
 (Algorithm 2) rewrites.
+
+The actual enumeration engine lives in :mod:`repro.cuts.database` — a flat,
+signature-indexed :class:`~repro.cuts.database.CutDatabase` shared by all
+mapper passes.  :func:`enumerate_cuts` is the stable list-of-``Cut`` view of
+that database.
+
+This module also owns the truth-table *expansion* machinery (re-expressing a
+cut function over a merged leaf set).  Expansion index maps are memoized in a
+bounded LRU cache; :func:`expand_cache_stats` exposes hit/miss/eviction
+counters so long-running services can monitor it.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple
 
-from ..networks.base import GateType, LogicNetwork
-from ..truth.truth_table import TruthTable, var_mask
+from ..truth.truth_table import TruthTable
 from .cut import Cut
 
-__all__ = ["enumerate_cuts", "expand_tt"]
+__all__ = [
+    "enumerate_cuts",
+    "expand_tt",
+    "expand_cache_stats",
+    "set_expand_cache_limit",
+    "clear_expand_cache",
+]
 
-# cache: (positions, num_vars) -> minterm index map
-_EXPAND_CACHE: Dict[Tuple[Tuple[int, ...], int], Tuple[int, ...]] = {}
+# LRU cache: (positions, num_vars) -> per-source-minterm destination masks.
+# Entry ``masks[s]`` is the OR of ``1 << m`` over all destination minterms
+# ``m`` that read source minterm ``s``, so applying an expansion is one mask
+# OR per *set* source bit instead of one Python iteration per destination
+# minterm.
+_EXPAND_CACHE: "OrderedDict[Tuple[Tuple[int, ...], int], Tuple[int, ...]]" = OrderedDict()
+_EXPAND_CACHE_LIMIT = 8192
+_EXPAND_STATS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def _expand_masks(key: Tuple[Tuple[int, ...], int]) -> Tuple[int, ...]:
+    """Destination masks for one (positions, num_vars) expansion, LRU-cached."""
+    cache = _EXPAND_CACHE
+    masks = cache.get(key)
+    if masks is not None:
+        _EXPAND_STATS["hits"] += 1
+        cache.move_to_end(key)
+        return masks
+    _EXPAND_STATS["misses"] += 1
+    positions, num_vars = key
+    out = [0] * (1 << len(positions))
+    for m in range(1 << num_vars):
+        src = 0
+        for i, p in enumerate(positions):
+            if (m >> p) & 1:
+                src |= 1 << i
+        out[src] |= 1 << m
+    masks = tuple(out)
+    cache[key] = masks
+    while len(cache) > _EXPAND_CACHE_LIMIT:
+        cache.popitem(last=False)
+        _EXPAND_STATS["evictions"] += 1
+    return masks
+
+
+def _expand_bits(src_bits: int, positions: Tuple[int, ...], num_vars: int) -> int:
+    """Raw-int core of :func:`expand_tt`; ``positions`` must be a tuple."""
+    masks = _expand_masks((positions, num_vars))
+    bits = 0
+    while src_bits:
+        low = src_bits & -src_bits
+        bits |= masks[low.bit_length() - 1]
+        src_bits ^= low
+    return bits
 
 
 def expand_tt(tt: TruthTable, positions: Sequence[int], num_vars: int) -> int:
@@ -28,24 +86,35 @@ def expand_tt(tt: TruthTable, positions: Sequence[int], num_vars: int) -> int:
     ``positions[i]`` gives the new index of old variable ``i``.  Returns raw
     bits over ``num_vars`` variables.
     """
-    key = (tuple(positions), num_vars)
-    idx = _EXPAND_CACHE.get(key)
-    if idx is None:
-        idx = []
-        for m in range(1 << num_vars):
-            src = 0
-            for i, p in enumerate(key[0]):
-                if (m >> p) & 1:
-                    src |= 1 << i
-            idx.append(src)
-        idx = tuple(idx)
-        _EXPAND_CACHE[key] = idx
-    bits = 0
-    src_bits = tt.bits
-    for m, s in enumerate(idx):
-        if (src_bits >> s) & 1:
-            bits |= 1 << m
-    return bits
+    return _expand_bits(tt.bits, tuple(positions), num_vars)
+
+
+def expand_cache_stats() -> Dict[str, int]:
+    """Counters of the expansion-mask LRU cache (the cache-stats hook)."""
+    return {
+        "hits": _EXPAND_STATS["hits"],
+        "misses": _EXPAND_STATS["misses"],
+        "evictions": _EXPAND_STATS["evictions"],
+        "size": len(_EXPAND_CACHE),
+        "limit": _EXPAND_CACHE_LIMIT,
+    }
+
+
+def set_expand_cache_limit(limit: int) -> None:
+    """Re-bound the expansion cache; evicts LRU entries beyond ``limit``."""
+    global _EXPAND_CACHE_LIMIT
+    if limit < 1:
+        raise ValueError("cache limit must be positive")
+    _EXPAND_CACHE_LIMIT = limit
+    while len(_EXPAND_CACHE) > _EXPAND_CACHE_LIMIT:
+        _EXPAND_CACHE.popitem(last=False)
+        _EXPAND_STATS["evictions"] += 1
+
+
+def clear_expand_cache() -> None:
+    """Drop all cached expansion masks and reset the counters."""
+    _EXPAND_CACHE.clear()
+    _EXPAND_STATS.update(hits=0, misses=0, evictions=0)
 
 
 def _merge_leaves(a: Tuple[int, ...], b: Tuple[int, ...], k: int):
@@ -73,27 +142,15 @@ def _merge_leaves(a: Tuple[int, ...], b: Tuple[int, ...], k: int):
     return tuple(out)
 
 
-def _apply_gate(gate: GateType, vals: List[int], mask: int) -> int:
-    if gate == GateType.AND:
-        return vals[0] & vals[1]
-    if gate == GateType.XOR:
-        return vals[0] ^ vals[1]
-    if gate == GateType.MAJ:
-        a, b, c = vals
-        return (a & b) | (a & c) | (b & c)
-    if gate == GateType.XOR3:
-        return vals[0] ^ vals[1] ^ vals[2]
-    raise ValueError(f"unsupported gate {gate}")
-
-
-def enumerate_cuts(ntk: LogicNetwork, k: int = 6, cut_limit: int = 8,
+def enumerate_cuts(ntk, k: int = 6, cut_limit: int = 8,
                    nodes: Sequence[int] = None, order: Sequence[int] = None,
                    choices: "Dict[int, List[Tuple[int, bool]]]" = None) -> List[List[Cut]]:
     """Compute priority cuts for every node.
 
-    Returns ``cuts[node]`` — a list of at most ``cut_limit`` cuts, the first
-    of which is always the trivial cut ``{node}`` for gate nodes at the end
-    of the list (kept last so the mapper can always fall back on it).  Cut
+    Returns ``cuts[node]`` — a list of at most ``cut_limit`` priority cuts
+    followed by the trivial cut ``{node}``, which for gate nodes is **always
+    the last element** of the list (kept last so the mapper can always fall
+    back on it without it ever displacing a real cut from the budget).  Cut
     truth tables are exact.
 
     ``nodes`` optionally restricts computation to a node subset (plus their
@@ -107,106 +164,8 @@ def enumerate_cuts(ntk: LogicNetwork, k: int = 6, cut_limit: int = 8,
     to the representative's polarity, so downstream consumers never see the
     choice phase.
     """
-    n_total = ntk.num_nodes()
-    cuts: List[List[Cut]] = [[] for _ in range(n_total)]
+    from .database import CutDatabase
 
-    todo = None
-    if nodes is not None:
-        todo = set()
-        stack = list(nodes)
-        while stack:
-            m = stack.pop()
-            if m in todo:
-                continue
-            todo.add(m)
-            stack.extend(f >> 1 for f in ntk.fanins(m))
-        if choices is not None:
-            raise ValueError("node restriction cannot be combined with choices")
-
-    iteration = order if order is not None else range(n_total)
-    for node in iteration:
-        if todo is not None and node not in todo:
-            continue
-        t = ntk.node_type(node)
-        if t == GateType.CONST:
-            cuts[node] = [Cut((), TruthTable(0, 0), node)]
-            continue
-        if t == GateType.PI:
-            cuts[node] = [Cut((node,), TruthTable.var(1, 0), node)]
-            continue
-
-        fis = ntk.fanins(node)
-        fanin_cut_sets = [cuts[f >> 1] for f in fis]
-        fanin_phases = [f & 1 for f in fis]
-        new_cuts: List[Cut] = []
-        seen = set()
-
-        def consider(leaf_combo: List[Cut]):
-            leaves: Tuple[int, ...] = ()
-            for c in leaf_combo:
-                merged = _merge_leaves(leaves, c.leaves, k)
-                if merged is None:
-                    return
-                leaves = merged
-            if leaves in seen:
-                return
-            seen.add(leaves)
-            nv = len(leaves)
-            pos_of = {leaf: i for i, leaf in enumerate(leaves)}
-            mask = (1 << (1 << nv)) - 1
-            vals = []
-            for c, ph in zip(leaf_combo, fanin_phases):
-                positions = [pos_of[leaf] for leaf in c.leaves]
-                bits = expand_tt(c.tt, positions, nv)
-                if ph:
-                    bits ^= mask
-                vals.append(bits)
-            out = _apply_gate(t, vals, mask) & mask
-            new_cuts.append(Cut(leaves, TruthTable(nv, out), node))
-
-        # cartesian merge of fanin cut sets
-        if len(fis) == 2:
-            for c0 in fanin_cut_sets[0]:
-                for c1 in fanin_cut_sets[1]:
-                    consider([c0, c1])
-        else:
-            for c0 in fanin_cut_sets[0]:
-                for c1 in fanin_cut_sets[1]:
-                    for c2 in fanin_cut_sets[2]:
-                        consider([c0, c1, c2])
-
-        # drop dominated cuts (a cut is useless if another cut's leaves are a
-        # strict subset)
-        filtered: List[Cut] = []
-        new_cuts.sort(key=lambda c: len(c.leaves))
-        for c in new_cuts:
-            if any(f.dominates(c) for f in filtered):
-                continue
-            filtered.append(c)
-
-        filtered = filtered[: cut_limit - 1]
-
-        # Algorithm 3 (lines 2-8): absorb choice-node cuts into the
-        # representative's cut set, normalized to the representative's
-        # polarity.  The representative keeps its own cut budget; choice cuts
-        # get an equal extra budget so good structural cuts are never evicted
-        # by candidate cuts (and vice versa).
-        if choices is not None and node in choices:
-            merged: List[Cut] = []
-            seen_leafsets = {c.leaves for c in filtered}
-            for ch_node, ch_phase in choices[node]:
-                for c in cuts[ch_node]:
-                    if len(c.leaves) == 1 and c.leaves[0] == node:
-                        continue
-                    if c.leaves in seen_leafsets:
-                        continue
-                    seen_leafsets.add(c.leaves)
-                    tt = ~c.tt if ch_phase else c.tt
-                    merged.append(Cut(c.leaves, tt, c.root, ch_phase))
-            merged.sort(key=lambda c: len(c.leaves), reverse=True)
-            filtered.extend(merged[:cut_limit])
-
-        filtered.append(Cut((node,), TruthTable.var(1, 0), node))  # trivial
-        cuts[node] = filtered
-
-    return cuts
+    db = CutDatabase(ntk, k=k, cut_limit=cut_limit, nodes=nodes, order=order,
+                     choices=choices)
+    return db.cut_lists()

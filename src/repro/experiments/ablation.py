@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits import build
-from ..core import ChoiceNetwork, MchParams, build_mch
-from ..mapping import asic_map, lut_map
+from ..core import MchParams, build_mch
+from ..mapping import MappingSession, asic_map, lut_map
 from ..networks import Aig, Xag, Xmg
 from ..opt import compress2rs
 from ..synthesis import AREA_STRATEGY, LEVEL_STRATEGY, StrategyLibrary
@@ -46,12 +46,16 @@ def merge_ablation(circuit: str = "adder", scale: str = "small",
     """Effect of the cut limit ``l`` and of choice-cut merging (Alg. 3)."""
     ntk = compress2rs(build(circuit, scale), rounds=2)
     mch = build_mch(ntk, MchParams(representations=(Xmg, Aig), ratio=1.0))
+    # shared sessions: the cut-limit sweep reuses processing order and fanout
+    # estimates across runs (the per-limit cut databases still differ)
+    merged_session = MappingSession.of(mch)
+    plain_session = MappingSession.of(mch.ntk)
     rows = []
     for l in cut_limits:
-        with_merge = lut_map(mch, k=6, cut_limit=l, objective="area")
+        with_merge = lut_map(merged_session, k=6, cut_limit=l, objective="area")
         # Algorithm 3 off: same network and candidates, but the mapper cannot
         # see choice cuts (classes erased)
-        no_merge = lut_map(ChoiceNetwork(mch.ntk).ntk, k=6, cut_limit=l, objective="area")
+        no_merge = lut_map(plain_session, k=6, cut_limit=l, objective="area")
         rows.append({
             "cut_limit": l,
             "merged.luts": with_merge.num_luts(),

@@ -1,6 +1,17 @@
-"""Technology mapping: K-LUT, ASIC standard cells, graph mapping."""
+"""Technology mapping: shared engine, K-LUT, ASIC standard cells, graph mapping."""
 
-from .lut_mapper import CutMapper, MappingCover, lut_map
+from .engine import (
+    CostModel,
+    FunctionCostModel,
+    LibraryCostModel,
+    MappingCover,
+    MappingSession,
+    NpnCostModel,
+    UnitCostModel,
+    library_cost_model,
+    run_cover,
+)
+from .lut_mapper import CutMapper, lut_map
 from .graph_mapper import graph_map, graph_map_iterate
 from .library import Cell, Library, parse_genlib, write_genlib
 from .asap7 import asap7_library
@@ -10,8 +21,16 @@ from .supergates import Supergate, expand_with_supergates
 from .timing import LinearLoadModel, critical_path, sta
 
 __all__ = [
-    "CutMapper",
+    "MappingSession",
     "MappingCover",
+    "CostModel",
+    "UnitCostModel",
+    "FunctionCostModel",
+    "NpnCostModel",
+    "LibraryCostModel",
+    "library_cost_model",
+    "run_cover",
+    "CutMapper",
     "lut_map",
     "graph_map",
     "graph_map_iterate",

@@ -69,7 +69,12 @@ _CELLS = [
 
 @lru_cache(maxsize=1)
 def asap7_library() -> Library:
-    """The synthetic ASAP7-like library used by all ASIC experiments."""
+    """The synthetic ASAP7-like library used by all ASIC experiments.
+
+    Memoized: every ``asic_map`` call shares one library object, which also
+    lets the engine's :func:`~repro.mapping.engine.library_cost_model` reuse
+    one pre-expanded match table across calls.
+    """
     cells = []
     for name, nv, fn, area, delays in _CELLS:
         cells.append(

@@ -11,6 +11,11 @@ by MCH turns it into the paper's MCH-based ASIC mapper (Algorithm 3).
 Delay model: fixed per-pin cell delays in ps, load-independent (see
 ``asap7.py``).  Objectives: ``'delay'`` minimizes arrival then recovers area
 under required times; ``'area'`` minimizes area flow directly.
+
+Cuts come from the shared :class:`~repro.mapping.engine.MappingSession` cut
+database and Boolean matching runs through the memoizing
+:class:`~repro.mapping.engine.LibraryCostModel`, so repeated mappings of the
+same subject (or the same library) share all the expensive precomputation.
 """
 
 from __future__ import annotations
@@ -20,12 +25,12 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.choice import ChoiceNetwork
 from ..cuts.cut import Cut
-from ..cuts.enumeration import enumerate_cuts
 from ..networks.base import LogicNetwork
 from ..networks.netlist import CellNetlist
 from .library import Library
 from .asap7 import asap7_library
-from .matcher import Match, MatchTable
+from .engine import MappingSession, library_cost_model
+from .matcher import Match
 
 __all__ = ["AsicMapper", "asic_map"]
 
@@ -45,27 +50,24 @@ class _Impl:
 class AsicMapper:
     """Cut-based Boolean-matching mapper onto a standard-cell library."""
 
-    def __init__(self, subject: Union[LogicNetwork, ChoiceNetwork],
+    def __init__(self, subject: Union[LogicNetwork, ChoiceNetwork, MappingSession],
                  library: Optional[Library] = None, objective: str = "delay",
                  cut_limit: int = 8, flow_iterations: int = 2,
                  exact_iterations: int = 2):
-        if isinstance(subject, ChoiceNetwork):
-            self.ntk = subject.ntk
-            self.choices = subject.choices_of
-            self.order = subject.processing_order()
-        else:
-            self.ntk = subject
-            self.choices = None
-            self.order = list(range(subject.num_nodes()))
+        self.session = MappingSession.of(subject)
+        self.ntk = self.session.ntk
+        self.choices = self.session.choices
+        self.order = self.session.order()
         if objective not in ("delay", "area"):
             raise ValueError("objective must be 'delay' or 'area'")
         self.lib = library or asap7_library()
         self.objective = objective
-        self.k = min(4, self.lib.max_pins)
+        self.costs = library_cost_model(self.lib, max_pins=4)
+        self.k = self.costs.max_pins
         self.cut_limit = cut_limit
         self.flow_iterations = flow_iterations
         self.exact_iterations = exact_iterations
-        self.table = MatchTable(self.lib, max_pins=self.k)
+        self.table = self.costs.table
         self.inv = self.lib.inverter
 
     # ------------------------------------------------------------------ #
@@ -76,9 +78,8 @@ class AsicMapper:
         ntk = self.ntk
         n = ntk.num_nodes()
         sys.setrecursionlimit(max(sys.getrecursionlimit(), 4 * n + 1000))
-        self.cuts = enumerate_cuts(ntk, k=self.k, cut_limit=self.cut_limit,
-                                   order=self.order, choices=self.choices)
-        gate_nodes = [m for m in self.order if ntk.is_gate(m)]
+        self.cuts = self.session.cut_database(self.k, self.cut_limit).cut_lists()
+        gate_nodes = self.session.gate_nodes()
 
         arrival = [[INF, INF] for _ in range(n)]
         flow = [[INF, INF] for _ in range(n)]
@@ -91,19 +92,7 @@ class AsicMapper:
 
         # Initial fanout estimate from PO-reachable structure only, so choice
         # candidate cones do not inflate sharing estimates.
-        reach = set()
-        stack = [p >> 1 for p in ntk.pos]
-        while stack:
-            x = stack.pop()
-            if x in reach:
-                continue
-            reach.add(x)
-            stack.extend(f >> 1 for f in ntk.fanins(x))
-        refs = [0] * n
-        for x in reach:
-            for f in ntk.fanins(x):
-                refs[f >> 1] += 1
-        refs = [max(1, r) for r in refs]
+        refs = [max(1, r) for r in self.session.initial_refs()]
 
         def select(m: int, required: Optional[List[List[float]]]) -> None:
             """(Re)select the best implementation of both phases of node m."""
@@ -114,7 +103,7 @@ class AsicMapper:
                 base_tt = cut.tt
                 for phase in (0, 1):
                     tt = base_tt if phase == 0 else ~base_tt
-                    small, sup = tt.min_base()
+                    small, sup = self.costs.min_base(tt)
                     if small.num_vars == 0:
                         # the node is constant under this phase: zero-cost tie
                         cand[phase].append((
@@ -310,7 +299,7 @@ class AsicMapper:
                     if len(cut.leaves) == 1 and cut.leaves[0] == m:
                         continue
                     tt = cut.tt if phase == 0 else ~cut.tt
-                    small, sup = tt.min_base()
+                    small, sup = self.costs.min_base(tt)
                     if small.num_vars == 0:
                         continue
                     leaves = [cut.leaves[s] for s in sup]
@@ -392,8 +381,7 @@ class AsicMapper:
         return required
 
     def _match_leaves(self, im: _Impl) -> Tuple[List[int], Match]:
-        tt = im.cut.tt
-        small, sup = tt.min_base()
+        _, sup = self.costs.min_base(im.cut.tt)
         leaves = [im.cut.leaves[s] for s in sup]
         return leaves, im.match
 
@@ -476,14 +464,16 @@ class AsicMapper:
         return netlist
 
 
-def asic_map(subject: Union[LogicNetwork, ChoiceNetwork],
+def asic_map(subject: Union[LogicNetwork, ChoiceNetwork, MappingSession],
              library: Optional[Library] = None, objective: str = "delay",
              cut_limit: int = 8, flow_iterations: int = 2,
              exact_iterations: int = 2) -> CellNetlist:
     """Map a (choice) network onto a standard-cell library.
 
     Returns a :class:`CellNetlist`; ``netlist.area()`` and
-    ``netlist.delay()`` report the Table-I metrics.
+    ``netlist.delay()`` report the Table-I metrics.  Passing a
+    :class:`MappingSession` (or re-mapping the same subject) reuses the
+    shared cut database.
     """
     return AsicMapper(subject, library=library, objective=objective,
                       cut_limit=cut_limit, flow_iterations=flow_iterations,

@@ -1,0 +1,558 @@
+"""Shared mapping engine: sessions, cut databases, cost models, pass pipeline.
+
+This module is the common substrate of all three cut-based mappers:
+
+* :class:`MappingSession` owns the expensive per-network state — the
+  processing order, the PO-reachable node set, initial fanout reference
+  estimates and one flat :class:`~repro.cuts.database.CutDatabase` per
+  ``(k, cut_limit)`` — computed once and shared by every mapper pass and
+  consumer.  Sessions are cached on the subject network and invalidated
+  automatically when the network (or its choice structure) mutates.
+* The :class:`CostModel` protocol is the unified cost layer: the K-LUT
+  mapper uses :class:`UnitCostModel` (one LUT per cut), graph mapping uses
+  :class:`NpnCostModel` (estimated target-representation gate count), and
+  the ASIC mapper's Boolean matching runs through :class:`LibraryCostModel`
+  (memoized min-base reduction + library match lookup).
+* :func:`run_cover` is the single covering pipeline — depth-oriented pass,
+  global required times, area-flow recovery and exact-area recovery with
+  reference counting — that used to be duplicated across the mappers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.choice import ChoiceNetwork
+from ..cuts.cut import Cut
+from ..cuts.database import CutDatabase
+from ..cuts.enumeration import expand_cache_stats
+from ..networks.base import LogicNetwork
+from ..synthesis.npn_db import NpnCostCache
+from ..truth.truth_table import TruthTable
+
+__all__ = [
+    "MappingSession",
+    "MappingCover",
+    "CostModel",
+    "UnitCostModel",
+    "FunctionCostModel",
+    "NpnCostModel",
+    "LibraryCostModel",
+    "library_cost_model",
+    "run_cover",
+]
+
+INF = float("inf")
+
+Subject = Union[LogicNetwork, ChoiceNetwork, "MappingSession"]
+
+
+# ---------------------------------------------------------------------- #
+# session                                                                 #
+# ---------------------------------------------------------------------- #
+
+class MappingSession:
+    """Shared mapping state for one subject network (plain or choice).
+
+    All derived structures are computed lazily, memoized, and shared by
+    reference — treat everything a session hands out as read-only.
+    """
+
+    def __init__(self, subject: Union[LogicNetwork, ChoiceNetwork]):
+        if isinstance(subject, MappingSession):
+            raise TypeError("subject is already a MappingSession; use MappingSession.of")
+        if isinstance(subject, ChoiceNetwork):
+            self.subject = subject
+            self.ntk: LogicNetwork = subject.ntk
+            self.choices: Optional[Dict[int, List[Tuple[int, bool]]]] = subject.choices_of
+        else:
+            self.subject = subject
+            self.ntk = subject
+            self.choices = None
+        self._network_version = self.ntk.version
+        self._num_choices = self._count_choices()
+        self._order: Optional[List[int]] = None
+        self._gate_nodes: Optional[List[int]] = None
+        self._reachable: Optional[set] = None
+        self._initial_refs: Optional[List[int]] = None
+        self._databases: Dict[Tuple[int, int], CutDatabase] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def of(cls, subject: Subject) -> "MappingSession":
+        """The session of ``subject``, reusing a cached one when still valid.
+
+        Sessions attach themselves to the subject object, so mapping the
+        same network (or choice network) repeatedly — e.g. a delay- and an
+        area-oriented run in one experiment — shares one cut database.
+        """
+        if isinstance(subject, MappingSession):
+            return subject
+        cached = getattr(subject, "_mapping_session", None)
+        if cached is not None and cached.is_current():
+            return cached
+        session = cls(subject)
+        try:
+            subject._mapping_session = session
+        except AttributeError:
+            pass  # subjects with __slots__ simply don't cache
+        return session
+
+    def _count_choices(self) -> int:
+        if self.choices is None:
+            return 0
+        return sum(len(v) for v in self.choices.values())
+
+    def is_current(self) -> bool:
+        """True while the subject has not structurally changed."""
+        return (self.ntk.version == self._network_version
+                and self._count_choices() == self._num_choices)
+
+    # -- shared derived state ---------------------------------------------
+
+    def order(self) -> List[int]:
+        """Node processing order (choice roots before representatives)."""
+        if self._order is None:
+            if isinstance(self.subject, ChoiceNetwork):
+                self._order = self.subject.processing_order()
+            else:
+                self._order = self.ntk.topological_order()
+        return self._order
+
+    def gate_nodes(self) -> List[int]:
+        """Gate nodes in processing order."""
+        if self._gate_nodes is None:
+            ntk = self.ntk
+            self._gate_nodes = [m for m in self.order() if ntk.is_gate(m)]
+        return self._gate_nodes
+
+    def reachable(self) -> set:
+        """Nodes inside the PO-reachable structure (choice cones excluded)."""
+        if self._reachable is None:
+            ntk = self.ntk
+            reach = set()
+            stack = [p >> 1 for p in ntk.pos]
+            while stack:
+                x = stack.pop()
+                if x in reach:
+                    continue
+                reach.add(x)
+                stack.extend(f >> 1 for f in ntk.fanins(x))
+            self._reachable = reach
+        return self._reachable
+
+    def initial_refs(self) -> List[int]:
+        """Structural fanout counts over the PO-reachable structure only.
+
+        This is the initial sharing estimate of the area-flow passes; choice
+        candidate cones are excluded so they do not inflate fanout counts.
+        Callers must copy before mutating.
+        """
+        if self._initial_refs is None:
+            ntk = self.ntk
+            refs = [0] * ntk.num_nodes()
+            for x in self.reachable():
+                for f in ntk.fanins(x):
+                    refs[f >> 1] += 1
+            self._initial_refs = refs
+        return self._initial_refs
+
+    def cut_database(self, k: int, cut_limit: int) -> CutDatabase:
+        """The flat cut database for ``(k, cut_limit)``, built once."""
+        key = (k, cut_limit)
+        db = self._databases.get(key)
+        if db is None:
+            db = CutDatabase(self.ntk, k=k, cut_limit=cut_limit,
+                             order=self.order(), choices=self.choices)
+            self._databases[key] = db
+        return db
+
+    def stats(self) -> dict:
+        """Aggregate engine statistics (cut databases + expansion cache)."""
+        out = {
+            "network_nodes": self.ntk.num_nodes(),
+            "choices": self._num_choices,
+            "databases": {
+                f"k={k},limit={l}": db.stats for (k, l), db in self._databases.items()
+            },
+            "expand_cache": expand_cache_stats(),
+        }
+        return out
+
+    def __repr__(self) -> str:
+        dbs = ",".join(f"({k},{l})" for k, l in self._databases)
+        return (f"<MappingSession nodes={self.ntk.num_nodes()} "
+                f"choices={self._num_choices} dbs=[{dbs}]>")
+
+
+# ---------------------------------------------------------------------- #
+# cost models                                                             #
+# ---------------------------------------------------------------------- #
+
+class CostModel:
+    """Protocol of the unified cut cost layer.
+
+    ``cut_cost`` is the area charged for selecting a cut; ``cut_delay`` the
+    delay through it.  Implementations may memoize on the cut function.
+    """
+
+    def cut_cost(self, cut: Cut) -> float:
+        raise NotImplementedError
+
+    def cut_delay(self, cut: Cut) -> float:
+        raise NotImplementedError
+
+
+class UnitCostModel(CostModel):
+    """K-LUT costs: every cut is one LUT, one level."""
+
+    def cut_cost(self, cut: Cut) -> float:
+        return 1.0
+
+    def cut_delay(self, cut: Cut) -> float:
+        return 1
+
+
+class FunctionCostModel(CostModel):
+    """Adapter for ad-hoc callables (the legacy ``cut_cost_fn`` interface)."""
+
+    def __init__(self, cost_fn: Optional[Callable[[Cut], float]] = None,
+                 delay_fn: Optional[Callable[[Cut], float]] = None):
+        if cost_fn is not None:
+            self.cut_cost = cost_fn  # type: ignore[assignment]
+        if delay_fn is not None:
+            self.cut_delay = delay_fn  # type: ignore[assignment]
+
+    def cut_cost(self, cut: Cut) -> float:
+        return 1.0
+
+    def cut_delay(self, cut: Cut) -> float:
+        return 1
+
+
+class NpnCostModel(CostModel):
+    """Graph-mapping costs: estimated gate count / depth of resynthesizing
+    the cut function in the target representation.
+
+    Results are memoized per raw cut function, so the NPN canonicalization
+    inside :class:`NpnCostCache` runs once per distinct function instead of
+    once per (cut, pass) pair.
+    """
+
+    def __init__(self, target_cls: type, objective: str,
+                 cache: Optional[NpnCostCache] = None):
+        self.cache = cache if cache is not None and cache.rep_cls is target_cls \
+            else NpnCostCache(target_cls)
+        self.synth_objective = "area" if objective == "area" else "level"
+        self._memo: Dict[Tuple[int, int], Tuple[str, int, int, bool]] = {}
+
+    def best(self, tt: TruthTable) -> Tuple[str, int, int, bool]:
+        """(method, gates, depth, has_support) for a cut function."""
+        key = (tt.num_vars, tt.bits)
+        got = self._memo.get(key)
+        if got is None:
+            method, gates, depth = self.cache.best_method(tt, self.synth_objective)
+            got = (method, gates, depth, bool(tt.support()))
+            self._memo[key] = got
+        return got
+
+    def cut_cost(self, cut: Cut) -> float:
+        if len(cut.leaves) <= 1:
+            return 0.0
+        return float(self.best(cut.tt)[1])
+
+    def cut_delay(self, cut: Cut) -> float:
+        if len(cut.leaves) <= 1:
+            return 0
+        _, _, depth, has_support = self.best(cut.tt)
+        return max(depth, 1) if has_support else 0
+
+
+class LibraryCostModel:
+    """Boolean-matching cost layer for standard-cell mapping.
+
+    Owns the pre-expanded :class:`~repro.mapping.matcher.MatchTable` of a
+    library and memoizes the min-base reduction (support minimization) of
+    every cut function it sees — the part the phase-aware mapper used to
+    recompute for every (cut, phase, pass) triple.
+    """
+
+    def __init__(self, library, max_pins: int = 4):
+        from .matcher import MatchTable  # local import: avoid cycle at module load
+
+        self.library = library
+        self.max_pins = min(max_pins, library.max_pins)
+        self.table = MatchTable(library, max_pins=self.max_pins)
+        self.inverter = library.inverter
+        self._minbase: Dict[Tuple[int, int], Tuple[TruthTable, Tuple[int, ...]]] = {}
+
+    def min_base(self, tt: TruthTable) -> Tuple[TruthTable, Tuple[int, ...]]:
+        """Memoized ``tt.min_base()`` — (support-reduced tt, support vars)."""
+        key = (tt.num_vars, tt.bits)
+        got = self._minbase.get(key)
+        if got is None:
+            small, sup = tt.min_base()
+            got = (small, tuple(sup))
+            self._minbase[key] = got
+        return got
+
+    def matches(self, small: TruthTable):
+        """Library matches realizing exactly ``small`` (same polarity)."""
+        return self.table.lookup(small)
+
+    def stats(self) -> dict:
+        return {
+            "library": self.library.name,
+            "table_entries": self.table.num_entries(),
+            "minbase_memo": len(self._minbase),
+        }
+
+
+# One cost model per (library object, pin bound): the match table expansion
+# is expensive and libraries are immutable in practice.  Keyed by object id
+# with a strong reference kept inside the model (so ids cannot be recycled
+# while cached) and bounded LRU-style so sweeps over many parsed libraries
+# cannot leak match tables.
+_LIBRARY_MODELS: "OrderedDict[Tuple[int, int], LibraryCostModel]" = OrderedDict()
+_LIBRARY_MODELS_LIMIT = 8
+
+
+def library_cost_model(library, max_pins: int = 4) -> LibraryCostModel:
+    """Shared :class:`LibraryCostModel` of a library (built once, LRU-bounded)."""
+    key = (id(library), max_pins)
+    model = _LIBRARY_MODELS.get(key)
+    if model is None:
+        model = LibraryCostModel(library, max_pins=max_pins)
+        _LIBRARY_MODELS[key] = model
+        while len(_LIBRARY_MODELS) > _LIBRARY_MODELS_LIMIT:
+            _LIBRARY_MODELS.popitem(last=False)
+    else:
+        _LIBRARY_MODELS.move_to_end(key)
+    return model
+
+
+# ---------------------------------------------------------------------- #
+# the covering pipeline                                                   #
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class MappingCover:
+    """Result of the covering phase: which cut realizes which node."""
+
+    ntk: LogicNetwork
+    selection: Dict[int, Cut]          # covered node -> selected cut
+    order: List[int]                   # covered nodes in topological order
+    depth: int
+    area: float
+    po_literals: List[int]
+    po_names: List[str]
+    pi_names: List[str]
+    pi_nodes: List[int]
+
+
+def run_cover(session: MappingSession, cost_model: CostModel, *,
+              k: int = 6, cut_limit: int = 8, objective: str = "delay",
+              flow_iterations: int = 1, exact_iterations: int = 2) -> MappingCover:
+    """Cover the session's network with cuts under a cost model.
+
+    The classic priority-cuts pipeline (Mishchenko et al., ICCAD'07 /
+    FPGA'06): a depth-oriented pass, global required-time computation,
+    area-flow recovery passes and exact-area recovery passes with reference
+    counting.  Every mapper consumes this one implementation.
+    """
+    if objective not in ("delay", "area"):
+        raise ValueError("objective must be 'delay' or 'area'")
+    return _CoverPipeline(session, cost_model, k, cut_limit, objective,
+                          flow_iterations, exact_iterations).run()
+
+
+class _CoverPipeline:
+    def __init__(self, session, cost_model, k, cut_limit, objective,
+                 flow_iterations, exact_iterations):
+        self.session = session
+        self.ntk = session.ntk
+        self.order = session.order()
+        self.objective = objective
+        self.flow_iterations = flow_iterations
+        self.exact_iterations = exact_iterations
+        self.cost = cost_model.cut_cost
+        self.delay = cost_model.cut_delay
+        self.db = session.cut_database(k, cut_limit)
+
+    def run(self) -> MappingCover:
+        ntk = self.ntk
+        n = ntk.num_nodes()
+        db = self.db
+        gate_nodes = self.session.gate_nodes()
+
+        # Cuts a node may be implemented by: every cut except its own
+        # trivial cut (single-leaf cuts of *other* nodes — absorbed choice
+        # buffers — stay usable).  Computed once and reused by every pass.
+        usable: Dict[int, List[Cut]] = {}
+        for m in gate_nodes:
+            usable[m] = [c for c in db.cuts(m)
+                         if len(c.leaves) > 1 or
+                         (len(c.leaves) == 1 and c.leaves[0] != m)]
+
+        arrival = [0.0] * n
+        flow = [0.0] * n
+        best: List[Optional[Cut]] = [None] * n
+        refs = [max(1, r) for r in self.session.initial_refs()]
+        cost = self.cost
+        delay = self.delay
+
+        # ---- pass 1: depth-oriented ----
+        delay_first = self.objective == "delay"
+        for m in gate_nodes:
+            best_key = None
+            for cut in usable[m]:
+                arr = delay(cut) + max((arrival[l] for l in cut.leaves), default=0)
+                fl = cost(cut) + sum(flow[l] / refs[l] for l in cut.leaves)
+                key = (arr, fl) if delay_first else (fl, arr)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best[m] = cut
+                    arrival[m] = arr
+                    flow[m] = fl
+            if best[m] is None:
+                raise RuntimeError(f"node {m} has no usable cut")
+
+        required = self._compute_required(arrival, best)
+
+        # ---- pass 2+: area flow under required-time constraint ----
+        for _ in range(self.flow_iterations):
+            refs = [max(1, r) for r in self._cover_refs(best)]
+            for m in gate_nodes:
+                best_key = None
+                for cut in usable[m]:
+                    arr = delay(cut) + max((arrival[l] for l in cut.leaves), default=0)
+                    if arr > required[m]:
+                        continue
+                    fl = cost(cut) + sum(flow[l] / refs[l] for l in cut.leaves)
+                    key = (fl, arr)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best[m] = cut
+                        arrival[m] = arr
+                        flow[m] = fl
+            required = self._compute_required(arrival, best)
+
+        # ---- pass 3+: exact local area ----
+        for _ in range(self.exact_iterations):
+            map_refs = self._cover_refs(best)
+            for m in gate_nodes:
+                if map_refs[m] == 0:
+                    continue
+                old_cut = best[m]
+                self._cut_deref(old_cut, map_refs, best)
+                best_key = None
+                best_cut = old_cut
+                for cut in usable[m]:
+                    arr = delay(cut) + max((arrival[l] for l in cut.leaves), default=0)
+                    if arr > required[m]:
+                        continue
+                    area = self._cut_ref(cut, map_refs, best)
+                    self._cut_deref(cut, map_refs, best)
+                    key = (area, arr)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best_cut = cut
+                        arrival[m] = arr
+                best[m] = best_cut
+                self._cut_ref(best_cut, map_refs, best)
+            required = self._compute_required(arrival, best)
+
+        return self._derive_cover(best)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _compute_required(self, arrival: List[float], best: List[Optional[Cut]]) -> List[float]:
+        ntk = self.ntk
+        n = ntk.num_nodes()
+        required = [INF] * n
+        po_gate_nodes = [p >> 1 for p in ntk.pos if ntk.is_gate(p >> 1)]
+        if self.objective == "delay":
+            target = max((arrival[m] for m in po_gate_nodes), default=0)
+            for m in po_gate_nodes:
+                required[m] = target
+            # reverse topological propagation through selected cuts
+            for m in reversed(self.order):
+                if not ntk.is_gate(m) or required[m] == INF or best[m] is None:
+                    continue
+                slack = required[m] - self.delay(best[m])
+                for l in best[m].leaves:
+                    if slack < required[l]:
+                        required[l] = slack
+        return required
+
+    def _cover_refs(self, best: List[Optional[Cut]]) -> List[int]:
+        """Reference counts of the cover induced by the current best cuts."""
+        ntk = self.ntk
+        refs = [0] * ntk.num_nodes()
+        stack = [p >> 1 for p in ntk.pos if ntk.is_gate(p >> 1)]
+        for m in stack:
+            refs[m] += 1
+        seen = set(stack)
+        work = list(seen)
+        while work:
+            m = work.pop()
+            for l in best[m].leaves:
+                refs[l] += 1
+                if ntk.is_gate(l) and l not in seen:
+                    seen.add(l)
+                    work.append(l)
+        return refs
+
+    def _cut_ref(self, cut: Cut, refs: List[int], best: List[Optional[Cut]]) -> float:
+        area = self.cost(cut)
+        for l in cut.leaves:
+            refs[l] += 1
+            if refs[l] == 1 and self.ntk.is_gate(l):
+                area += self._cut_ref(best[l], refs, best)
+        return area
+
+    def _cut_deref(self, cut: Cut, refs: List[int], best: List[Optional[Cut]]) -> float:
+        area = self.cost(cut)
+        for l in cut.leaves:
+            refs[l] -= 1
+            if refs[l] == 0 and self.ntk.is_gate(l):
+                area += self._cut_deref(best[l], refs, best)
+        return area
+
+    def _derive_cover(self, best: List[Optional[Cut]]) -> MappingCover:
+        ntk = self.ntk
+        selection: Dict[int, Cut] = {}
+        needed = set()
+        stack = [p >> 1 for p in ntk.pos if ntk.is_gate(p >> 1)]
+        while stack:
+            m = stack.pop()
+            if m in needed:
+                continue
+            needed.add(m)
+            selection[m] = best[m]
+            for l in best[m].leaves:
+                if ntk.is_gate(l):
+                    stack.append(l)
+        order = [m for m in self.order if m in needed]
+        area = sum(self.cost(c) for c in selection.values())
+        po_gate_nodes = [p >> 1 for p in ntk.pos if ntk.is_gate(p >> 1)]
+        lev: Dict[int, int] = {}
+        for m in order:
+            lev[m] = self.delay(selection[m]) + max(
+                (lev.get(l, 0) for l in selection[m].leaves), default=0
+            )
+        depth_val = max((lev[m] for m in po_gate_nodes), default=0)
+        return MappingCover(
+            ntk=ntk,
+            selection=selection,
+            order=order,
+            depth=depth_val,
+            area=area,
+            po_literals=ntk.pos,
+            po_names=ntk.po_names,
+            pi_names=ntk.pi_names,
+            pi_nodes=ntk.pis,
+        )

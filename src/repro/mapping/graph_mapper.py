@@ -3,9 +3,11 @@
 Implements the versatile-mapping idea (Calvino et al., ASP-DAC'22) the paper
 uses both as its "Graph Map" baseline and as the host of the MCH extension
 (Section III-C): the subject network (optionally a mixed choice network) is
-covered with cuts exactly like in LUT mapping, but each selected cut is
-*resynthesized* into a target representation, with the cut cost model taken
-from the target representation's NPN structure database.  The output is a new
+covered with cuts exactly like in LUT mapping — through the shared
+:mod:`repro.mapping.engine` pipeline — but each selected cut is
+*resynthesized* into a target representation, with the cut cost model
+(:class:`~repro.mapping.engine.NpnCostModel`) taken from the target
+representation's NPN structure database.  The output is a new
 AIG/XAG/MIG/XMG rather than a LUT netlist.
 
 Iterating ``graph_map`` to a fixpoint is a logic optimization loop; handing
@@ -18,16 +20,16 @@ from __future__ import annotations
 from typing import Dict, Optional, Type, Union
 
 from ..core.choice import ChoiceNetwork
-from ..cuts.cut import Cut
 from ..networks.base import LogicNetwork
 from ..synthesis.npn_db import NpnCostCache
 from ..synthesis.factoring import synthesize_tt
-from .lut_mapper import CutMapper
+from .engine import MappingSession, NpnCostModel, run_cover
 
 __all__ = ["graph_map", "graph_map_iterate"]
 
 
-def graph_map(subject: Union[LogicNetwork, ChoiceNetwork], target_cls: Type[LogicNetwork],
+def graph_map(subject: Union[LogicNetwork, ChoiceNetwork, MappingSession],
+              target_cls: Type[LogicNetwork],
               objective: str = "area", k: int = 4, cut_limit: int = 8,
               flow_iterations: int = 1, exact_iterations: int = 1,
               cache: Optional[NpnCostCache] = None) -> LogicNetwork:
@@ -37,28 +39,12 @@ def graph_map(subject: Union[LogicNetwork, ChoiceNetwork], target_cls: Type[Logi
     ``objective='delay'`` minimizes the estimated target depth and recovers
     gates under required times.
     """
-    cost_cache = cache if cache is not None and cache.rep_cls is target_cls \
-        else NpnCostCache(target_cls)
-    synth_objective = "area" if objective == "area" else "level"
-
-    def cut_cost(cut: Cut) -> float:
-        if len(cut.leaves) <= 1:
-            return 0.0
-        _, gates, _ = cost_cache.best_method(cut.tt, synth_objective)
-        return float(gates)
-
-    def cut_delay(cut: Cut) -> int:
-        if len(cut.leaves) <= 1:
-            return 0
-        _, _, depth = cost_cache.best_method(cut.tt, synth_objective)
-        return max(depth, 1) if cut.tt.support() else 0
-
-    mapper = CutMapper(
-        subject, k=k, cut_limit=cut_limit, objective=objective,
+    session = MappingSession.of(subject)
+    cost_model = NpnCostModel(target_cls, objective, cache=cache)
+    cover = run_cover(
+        session, cost_model, k=k, cut_limit=cut_limit, objective=objective,
         flow_iterations=flow_iterations, exact_iterations=exact_iterations,
-        cut_cost_fn=cut_cost, cut_delay_fn=cut_delay,
     )
-    cover = mapper.run()
 
     target = target_cls()
     mapping: Dict[int, int] = {0: target.const0}
@@ -67,7 +53,7 @@ def graph_map(subject: Union[LogicNetwork, ChoiceNetwork], target_cls: Type[Logi
     for m in cover.order:
         cut = cover.selection[m]
         leaf_lits = [mapping[l] for l in cut.leaves]
-        method, _, _ = cost_cache.best_method(cut.tt, synth_objective)
+        method = cost_model.best(cut.tt)[0]
         mapping[m] = synthesize_tt(target, cut.tt, leaf_lits, method=method)
     for p, name in zip(cover.po_literals, cover.po_names):
         target.create_po(mapping[p >> 1] ^ (p & 1), name)

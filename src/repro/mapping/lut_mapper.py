@@ -1,17 +1,17 @@
-"""Cut-based structural mapper (K-LUT / graph-mapping core).
+"""Cut-based structural mapper (K-LUT / graph-mapping front-end).
 
-Implements the classic priority-cuts mapping loop (Mishchenko et al.,
-ICCAD'07 / FPGA'06): a depth-oriented pass, global required-time
-computation, area-flow recovery passes and exact-area recovery passes with
-reference counting.  The mapper is *choice-aware*: handed a
-:class:`~repro.core.choice.ChoiceNetwork`, it enumerates cuts in choice
-processing order and merges choice cut sets into their representatives
-(Algorithm 3 of the paper), so candidates from heterogeneous representations
-compete on equal terms inside the dynamic program.
+The covering machinery — priority cuts, depth pass, required times,
+area-flow and exact-area recovery — lives in :mod:`repro.mapping.engine`;
+this module is the thin K-LUT front-end over it.  The mapper is
+*choice-aware*: handed a :class:`~repro.core.choice.ChoiceNetwork`, the
+engine enumerates cuts in choice processing order and merges choice cut sets
+into their representatives (Algorithm 3 of the paper), so candidates from
+heterogeneous representations compete on equal terms inside the dynamic
+program.
 
 The same engine drives three consumers:
 
-* :func:`lut_map` — FPGA K-LUT mapping (cost = 1 per LUT);
+* :func:`lut_map` — FPGA K-LUT mapping (:class:`~repro.mapping.engine.UnitCostModel`);
 * ASIC pre-selection experiments (custom ``cut_cost_fn``);
 * :mod:`repro.mapping.graph_mapper` — mapping-based logic optimization,
   where the cut cost is the estimated gate count of resynthesizing the cut
@@ -20,256 +20,68 @@ The same engine drives three consumers:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Union
 
 from ..core.choice import ChoiceNetwork
 from ..cuts.cut import Cut
-from ..cuts.enumeration import enumerate_cuts
 from ..networks.base import LogicNetwork
 from ..networks.lut_network import LutNetwork
+from .engine import (
+    FunctionCostModel,
+    MappingCover,
+    MappingSession,
+    UnitCostModel,
+    run_cover,
+)
 
 __all__ = ["CutMapper", "MappingCover", "lut_map"]
 
-INF = float("inf")
-
-
-@dataclass
-class MappingCover:
-    """Result of the covering phase: which cut realizes which node."""
-
-    ntk: LogicNetwork
-    selection: Dict[int, Cut]          # covered node -> selected cut
-    order: List[int]                   # covered nodes in topological order
-    depth: int
-    area: float
-    po_literals: List[int]
-    po_names: List[str]
-    pi_names: List[str]
-    pi_nodes: List[int]
+Subject = Union[LogicNetwork, ChoiceNetwork, MappingSession]
 
 
 class CutMapper:
-    """Priority-cuts mapper over a (choice) network."""
+    """Priority-cuts mapper over a (choice) network.
 
-    def __init__(self, subject: Union[LogicNetwork, ChoiceNetwork], k: int = 6,
+    Thin configuration front-end over :func:`repro.mapping.engine.run_cover`;
+    accepts a plain network, a choice network, or an existing
+    :class:`MappingSession` (to share one cut database across runs).
+    """
+
+    def __init__(self, subject: Subject, k: int = 6,
                  cut_limit: int = 8, objective: str = "delay",
                  flow_iterations: int = 1, exact_iterations: int = 2,
                  cut_cost_fn: Optional[Callable[[Cut], float]] = None,
                  cut_delay_fn: Optional[Callable[[Cut], int]] = None):
-        if isinstance(subject, ChoiceNetwork):
-            self.ntk = subject.ntk
-            self.choices = subject.choices_of
-            self.order = subject.processing_order()
-        else:
-            self.ntk = subject
-            self.choices = None
-            self.order = list(range(subject.num_nodes()))
         if objective not in ("delay", "area"):
             raise ValueError("objective must be 'delay' or 'area'")
+        self.session = MappingSession.of(subject)
+        self.ntk = self.session.ntk
         self.k = k
         self.cut_limit = cut_limit
         self.objective = objective
         self.flow_iterations = flow_iterations
         self.exact_iterations = exact_iterations
-        self.cost = cut_cost_fn or (lambda cut: 1.0)
-        self.delay = cut_delay_fn or (lambda cut: 1)
-
-    # -- pass machinery ----------------------------------------------------
+        if cut_cost_fn is None and cut_delay_fn is None:
+            self.cost_model = UnitCostModel()
+        else:
+            self.cost_model = FunctionCostModel(cut_cost_fn, cut_delay_fn)
 
     def run(self) -> MappingCover:
-        ntk = self.ntk
-        n = ntk.num_nodes()
-        self.cuts = enumerate_cuts(
-            ntk, k=self.k, cut_limit=self.cut_limit,
-            order=self.order, choices=self.choices,
-        )
-        gate_nodes = [m for m in self.order if ntk.is_gate(m)]
-
-        arrival = [0.0] * n
-        flow = [0.0] * n
-        best: List[Optional[Cut]] = [None] * n
-        # Initial sharing estimate over the PO-reachable structure only, so
-        # choice candidate cones do not inflate fanout counts.
-        reach = set()
-        stack = [p >> 1 for p in ntk.pos]
-        while stack:
-            x = stack.pop()
-            if x in reach:
-                continue
-            reach.add(x)
-            stack.extend(f >> 1 for f in ntk.fanins(x))
-        refs = [0] * n
-        for x in reach:
-            for f in ntk.fanins(x):
-                refs[f >> 1] += 1
-        refs = [max(1, r) for r in refs]
-
-        def usable_cuts(node: int) -> List[Cut]:
-            return [c for c in self.cuts[node] if len(c.leaves) > 1 or
-                    (len(c.leaves) == 1 and c.leaves[0] != node)]
-
-        # ---- pass 1: depth-oriented ----
-        for m in gate_nodes:
-            best_key = None
-            for cut in usable_cuts(m):
-                arr = self.delay(cut) + max((arrival[l] for l in cut.leaves), default=0)
-                fl = self.cost(cut) + sum(flow[l] / refs[l] for l in cut.leaves)
-                key = (arr, fl) if self.objective == "delay" else (fl, arr)
-                if best_key is None or key < best_key:
-                    best_key = key
-                    best[m] = cut
-                    arrival[m] = arr
-                    flow[m] = fl
-            if best[m] is None:
-                raise RuntimeError(f"node {m} has no usable cut")
-
-        required = self._compute_required(arrival, best)
-
-        # ---- pass 2+: area flow under required-time constraint ----
-        for _ in range(self.flow_iterations):
-            refs = [max(1, r) for r in self._cover_refs(best)]
-            for m in gate_nodes:
-                best_key = None
-                for cut in usable_cuts(m):
-                    arr = self.delay(cut) + max((arrival[l] for l in cut.leaves), default=0)
-                    if arr > required[m]:
-                        continue
-                    fl = self.cost(cut) + sum(flow[l] / refs[l] for l in cut.leaves)
-                    key = (fl, arr)
-                    if best_key is None or key < best_key:
-                        best_key = key
-                        best[m] = cut
-                        arrival[m] = arr
-                        flow[m] = fl
-            required = self._compute_required(arrival, best)
-
-        # ---- pass 3+: exact local area ----
-        for _ in range(self.exact_iterations):
-            map_refs = self._cover_refs(best)
-            for m in gate_nodes:
-                if map_refs[m] == 0:
-                    continue
-                old_cut = best[m]
-                self._cut_deref(old_cut, map_refs, best)
-                best_key = None
-                best_cut = old_cut
-                for cut in usable_cuts(m):
-                    arr = self.delay(cut) + max((arrival[l] for l in cut.leaves), default=0)
-                    if arr > required[m]:
-                        continue
-                    area = self._cut_ref(cut, map_refs, best)
-                    self._cut_deref(cut, map_refs, best)
-                    key = (area, arr)
-                    if best_key is None or key < best_key:
-                        best_key = key
-                        best_cut = cut
-                        arrival[m] = arr
-                best[m] = best_cut
-                self._cut_ref(best_cut, map_refs, best)
-            required = self._compute_required(arrival, best)
-
-        return self._derive_cover(best)
-
-    # -- helpers -------------------------------------------------------------
-
-    def _compute_required(self, arrival: List[float], best: List[Optional[Cut]]) -> List[float]:
-        ntk = self.ntk
-        n = ntk.num_nodes()
-        required = [INF] * n
-        po_gate_nodes = [p >> 1 for p in ntk.pos if ntk.is_gate(p >> 1)]
-        if self.objective == "delay":
-            target = max((arrival[m] for m in po_gate_nodes), default=0)
-            for m in po_gate_nodes:
-                required[m] = target
-            # reverse topological propagation through selected cuts
-            for m in reversed(self.order):
-                if not ntk.is_gate(m) or required[m] == INF or best[m] is None:
-                    continue
-                slack = required[m] - self.delay(best[m])
-                for l in best[m].leaves:
-                    if slack < required[l]:
-                        required[l] = slack
-        return required
-
-    def _cover_refs(self, best: List[Optional[Cut]]) -> List[int]:
-        """Reference counts of the cover induced by the current best cuts."""
-        ntk = self.ntk
-        refs = [0] * ntk.num_nodes()
-        stack = [p >> 1 for p in ntk.pos if ntk.is_gate(p >> 1)]
-        for m in stack:
-            refs[m] += 1
-        seen = set(stack)
-        work = list(seen)
-        while work:
-            m = work.pop()
-            for l in best[m].leaves:
-                refs[l] += 1
-                if ntk.is_gate(l) and l not in seen:
-                    seen.add(l)
-                    work.append(l)
-        return refs
-
-    def _cut_ref(self, cut: Cut, refs: List[int], best: List[Optional[Cut]]) -> float:
-        area = self.cost(cut)
-        for l in cut.leaves:
-            refs[l] += 1
-            if refs[l] == 1 and self.ntk.is_gate(l):
-                area += self._cut_ref(best[l], refs, best)
-        return area
-
-    def _cut_deref(self, cut: Cut, refs: List[int], best: List[Optional[Cut]]) -> float:
-        area = self.cost(cut)
-        for l in cut.leaves:
-            refs[l] -= 1
-            if refs[l] == 0 and self.ntk.is_gate(l):
-                area += self._cut_deref(best[l], refs, best)
-        return area
-
-    def _derive_cover(self, best: List[Optional[Cut]]) -> MappingCover:
-        ntk = self.ntk
-        selection: Dict[int, Cut] = {}
-        needed = set()
-        stack = [p >> 1 for p in ntk.pos if ntk.is_gate(p >> 1)]
-        while stack:
-            m = stack.pop()
-            if m in needed:
-                continue
-            needed.add(m)
-            selection[m] = best[m]
-            for l in best[m].leaves:
-                if ntk.is_gate(l):
-                    stack.append(l)
-        order = [m for m in self.order if m in needed]
-        area = sum(self.cost(c) for c in selection.values())
-        po_gate_nodes = [p >> 1 for p in ntk.pos if ntk.is_gate(p >> 1)]
-        depth_val = 0
-        lev: Dict[int, int] = {}
-        for m in order:
-            lev[m] = self.delay(selection[m]) + max(
-                (lev.get(l, 0) for l in selection[m].leaves), default=0
-            )
-        depth_val = max((lev[m] for m in po_gate_nodes), default=0)
-        return MappingCover(
-            ntk=ntk,
-            selection=selection,
-            order=order,
-            depth=depth_val,
-            area=area,
-            po_literals=ntk.pos,
-            po_names=ntk.po_names,
-            pi_names=ntk.pi_names,
-            pi_nodes=ntk.pis,
+        return run_cover(
+            self.session, self.cost_model, k=self.k, cut_limit=self.cut_limit,
+            objective=self.objective, flow_iterations=self.flow_iterations,
+            exact_iterations=self.exact_iterations,
         )
 
 
-def lut_map(subject: Union[LogicNetwork, ChoiceNetwork], k: int = 6,
+def lut_map(subject: Subject, k: int = 6,
             cut_limit: int = 8, objective: str = "area",
             flow_iterations: int = 1, exact_iterations: int = 2) -> LutNetwork:
     """Map a (choice) network into a K-LUT network.
 
     ``objective='delay'`` minimizes LUT depth first then recovers area under
     required times; ``objective='area'`` minimizes LUT count directly.
+    Passing a :class:`MappingSession` reuses its shared cut database.
     """
     mapper = CutMapper(
         subject, k=k, cut_limit=cut_limit, objective=objective,

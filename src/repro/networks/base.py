@@ -75,6 +75,23 @@ class LogicNetwork:
         self._pos: List[int] = []
         self._po_names: List[str] = []
         self._strash: Dict[Tuple[GateType, Tuple[int, ...]], int] = {}
+        #: bumped on every structural mutation; analysis caches key off it
+        self._version: int = 0
+        self._fanout_cache: Optional[Tuple[int, List[List[int]]]] = None
+        self._fanout_count_cache: Optional[Tuple[int, List[int]]] = None
+        self._topo_cache: Optional[Tuple[int, List[int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # cache maintenance                                                   #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def version(self) -> int:
+        """Monotonic structural version; changes whenever the DAG mutates."""
+        return self._version
+
+    def _touch(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # basic structure                                                     #
@@ -155,6 +172,7 @@ class LogicNetwork:
         self._levels.append(0)
         self._pis.append(node)
         self._pi_names.append(name if name is not None else f"pi{len(self._pis) - 1}")
+        self._touch()
         return lit(node)
 
     def create_po(self, literal: int, name: Optional[str] = None) -> int:
@@ -162,6 +180,7 @@ class LogicNetwork:
             raise ValueError("PO literal refers to unknown node")
         self._pos.append(literal)
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
+        self._touch()
         return len(self._pos) - 1
 
     def _new_node(self, gate: GateType, fanins: Tuple[int, ...]) -> int:
@@ -174,6 +193,7 @@ class LogicNetwork:
         self._fanins.append(fanins)
         self._levels.append(1 + max(self._levels[f >> 1] for f in fanins))
         self._strash[key] = node
+        self._touch()
         return lit(node)
 
     def _require(self, gate: GateType) -> None:
@@ -352,21 +372,51 @@ class LogicNetwork:
         return max((self._levels[p >> 1] for p in self._pos), default=0)
 
     def fanout_counts(self) -> List[int]:
+        """Per-node consumer counts (gate fanins + PO references).
+
+        The list is memoized until the next structural mutation; callers must
+        treat it as read-only (copy before decrementing, as :meth:`mffc` does).
+        """
+        cached = self._fanout_count_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         cnt = [0] * len(self._types)
         for n in range(len(self._types)):
             for f in self._fanins[n]:
                 cnt[f >> 1] += 1
         for p in self._pos:
             cnt[p >> 1] += 1
+        self._fanout_count_cache = (self._version, cnt)
         return cnt
 
     def fanouts(self) -> List[List[int]]:
-        """Fanout adjacency (gate consumers only, not POs)."""
+        """Fanout adjacency (gate consumers only, not POs).
+
+        Memoized until the next structural mutation; treat as read-only.
+        """
+        cached = self._fanout_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
         out: List[List[int]] = [[] for _ in self._types]
         for n in range(len(self._types)):
             for f in self._fanins[n]:
                 out[f >> 1].append(n)
+        self._fanout_cache = (self._version, out)
         return out
+
+    def topological_order(self) -> List[int]:
+        """All node indices in topological order.
+
+        Nodes are created fanins-first, so this is simply ``0..num_nodes-1``;
+        the list is memoized so hot loops can reuse one object.  Treat as
+        read-only.
+        """
+        cached = self._topo_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        order = list(range(len(self._types)))
+        self._topo_cache = (self._version, order)
+        return order
 
     def tfi(self, node: int) -> set:
         """Transitive fanin cone of a node, including the node itself."""
@@ -398,7 +448,8 @@ class LogicNetwork:
         """Maximum fanout-free cone of ``node`` (gate nodes only)."""
         if not self.is_gate(node):
             return set()
-        cnt = list(fanout_counts) if fanout_counts is not None else self.fanout_counts()
+        # always copy: self.fanout_counts() is memoized and must stay intact
+        cnt = list(fanout_counts if fanout_counts is not None else self.fanout_counts())
         cone = {node}
         stack = [node]
         while stack:

@@ -3,7 +3,15 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cuts import Cut, enumerate_cuts, expand_tt
+from repro.cuts import (
+    Cut,
+    CutDatabase,
+    enumerate_cuts,
+    expand_cache_stats,
+    expand_tt,
+    leaf_signature,
+    set_expand_cache_limit,
+)
 from repro.networks import Aig, MixedNetwork, Xmg
 from repro.networks.base import lit_not
 from repro.truth.truth_table import TruthTable
@@ -127,6 +135,138 @@ class TestEnumeration:
         ntk.create_po(lits[-1])
         cuts = enumerate_cuts(ntk, k=4, cut_limit=6)
         check_cut_functions(ntk, cuts)
+
+
+class TestTrivialCutInvariant:
+    def test_trivial_cut_always_last(self):
+        """The trivial cut {node} of every gate is the LAST list element."""
+        for cls in (Aig, Xmg, MixedNetwork):
+            ntk = build_sample(cls)
+            for limit in (2, 3, 8):
+                cuts = enumerate_cuts(ntk, k=4, cut_limit=limit)
+                for g in ntk.gates():
+                    last = cuts[g][-1]
+                    assert last.is_trivial(), f"{cls.__name__} node {g}"
+                    assert all(not c.is_trivial() for c in cuts[g][:-1])
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_trivial_cut_last_on_random_networks(self, seed):
+        import random
+        rng = random.Random(seed)
+        ntk = MixedNetwork()
+        lits = [ntk.create_pi() for _ in range(4)]
+        for _ in range(12):
+            picks = [rng.choice(lits) ^ rng.randint(0, 1) for _ in range(3)]
+            op = rng.choice(["and", "xor", "maj"])
+            if op == "and":
+                lits.append(ntk.create_and(picks[0], picks[1]))
+            elif op == "xor":
+                lits.append(ntk.create_xor(picks[0], picks[1]))
+            else:
+                lits.append(ntk.create_maj(*picks))
+        ntk.create_po(lits[-1])
+        cuts = enumerate_cuts(ntk, k=4, cut_limit=6)
+        for g in ntk.gates():
+            assert cuts[g] and cuts[g][-1].is_trivial()
+
+
+class TestCutDatabase:
+    def test_signatures_match_leaves(self):
+        ntk = build_sample(MixedNetwork)
+        db = CutDatabase(ntk, k=4, cut_limit=8)
+        for node in ntk.nodes():
+            start, end = db.spans[node]
+            for i in range(start, end):
+                assert db.sig[i] == leaf_signature(db.leaves[i])
+
+    def test_leaf_tuples_interned(self):
+        ntk = build_sample(Aig)
+        db = CutDatabase(ntk, k=4, cut_limit=8)
+        by_value = {}
+        for leaves in db.leaves:
+            prior = by_value.setdefault(leaves, leaves)
+            assert prior is leaves  # equal tuples share one object
+
+    def test_view_consistency_with_enumerate_cuts(self):
+        """API contract: the wrapper view exposes exactly the db records."""
+        ntk = build_sample(Xmg)
+        db = CutDatabase(ntk, k=4, cut_limit=8)
+        lists = enumerate_cuts(ntk, k=4, cut_limit=8)
+        for node in ntk.nodes():
+            got = db.cuts(node)
+            assert [(c.leaves, c.tt.bits) for c in got] == \
+                [(c.leaves, c.tt.bits) for c in lists[node]]
+
+    def test_cuts_against_reference_enumeration(self):
+        """Independent oracle: with a generous budget the database holds
+        exactly the non-dominated k-feasible cuts of a brute-force
+        fixpoint enumeration (plus the trivial cut)."""
+        k = 4
+        for cls in (Aig, Xmg, MixedNetwork):
+            ntk = build_sample(cls)
+            # reference: all k-feasible leaf sets via plain set fixpoint
+            ref = {}
+            for node in ntk.nodes():
+                if ntk.is_const(node):
+                    ref[node] = {frozenset()}
+                elif ntk.is_pi(node):
+                    ref[node] = {frozenset((node,))}
+                else:
+                    sets = set()
+                    fanin_sets = [ref[f >> 1] for f in ntk.fanins(node)]
+                    import itertools
+                    for combo in itertools.product(*fanin_sets):
+                        u = frozenset().union(*combo)
+                        if len(u) <= k:
+                            sets.add(u)
+                    # drop dominated (strict-superset) leaf sets
+                    sets = {s for s in sets
+                            if not any(o < s for o in sets)}
+                    sets.add(frozenset((node,)))  # trivial
+                    ref[node] = sets
+            db = CutDatabase(ntk, k=k, cut_limit=64)
+            for g in ntk.gates():
+                got = {frozenset(c.leaves) for c in db.cuts(g)}
+                assert got == ref[g], f"{cls.__name__} node {g}"
+
+    def test_no_dominated_cut_survives(self):
+        ntk = build_sample(MixedNetwork)
+        db = CutDatabase(ntk, k=4, cut_limit=8)
+        for g in ntk.gates():
+            cuts = [set(c.leaves) for c in db.cuts(g)[:-1]]  # minus trivial
+            for i, a in enumerate(cuts):
+                for j, b in enumerate(cuts):
+                    assert i == j or not a < b, f"dominated cut kept at node {g}"
+
+    def test_materialized_lists_are_memoized(self):
+        ntk = build_sample(Aig)
+        db = CutDatabase(ntk, k=4, cut_limit=8)
+        g = max(ntk.gates())
+        assert db.cuts(g) is db.cuts(g)
+
+
+class TestExpandCacheBound:
+    def test_cache_respects_limit(self):
+        stats = expand_cache_stats()
+        old_limit = stats["limit"]
+        try:
+            set_expand_cache_limit(4)
+            ntk = build_sample(MixedNetwork)
+            enumerate_cuts(ntk, k=4)
+            stats = expand_cache_stats()
+            assert stats["size"] <= 4
+            assert stats["limit"] == 4
+        finally:
+            set_expand_cache_limit(old_limit)
+
+    def test_stats_hook_counts(self):
+        before = expand_cache_stats()
+        ntk = build_sample(Aig)
+        enumerate_cuts(ntk, k=4)
+        after = expand_cache_stats()
+        assert after["hits"] + after["misses"] > before["hits"] + before["misses"]
+        assert set(after) == {"hits", "misses", "evictions", "size", "limit"}
 
 
 class TestCutObject:

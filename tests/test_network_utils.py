@@ -74,6 +74,43 @@ class TestMffcLeaves:
         assert (shared >> 1) in ntk.mffc_leaves(cone)
 
 
+class TestAnalysisCaches:
+    def _sample(self):
+        ntk = Aig()
+        a, b, c, d = (ntk.create_pi() for _ in range(4))
+        g1 = ntk.create_and(a, b)
+        g2 = ntk.create_and(c, d)
+        g3 = ntk.create_and(g1, g2)
+        ntk.create_po(g3)
+        return ntk, g3 >> 1
+
+    def test_mffc_does_not_corrupt_fanout_count_cache(self):
+        ntk, root = self._sample()
+        before = list(ntk.fanout_counts())
+        cone1 = ntk.mffc(root)
+        assert list(ntk.fanout_counts()) == before
+        assert ntk.mffc(root) == cone1  # stable across repeated calls
+
+    def test_caches_invalidated_on_mutation(self):
+        ntk, root = self._sample()
+        counts = ntk.fanout_counts()
+        fo = ntk.fanouts()
+        assert ntk.fanout_counts() is counts  # memoized
+        assert ntk.fanouts() is fo
+        a = ntk.pis[0] << 1
+        ntk.create_po(a)
+        assert ntk.fanout_counts() is not counts
+        assert ntk.fanout_counts()[a >> 1] == counts[a >> 1] + 1
+
+    def test_topological_order_memoized(self):
+        ntk, _ = self._sample()
+        order = ntk.topological_order()
+        assert order == list(range(ntk.num_nodes()))
+        assert ntk.topological_order() is order
+        ntk.create_pi()
+        assert len(ntk.topological_order()) == ntk.num_nodes()
+
+
 class TestCreateGate:
     def test_dispatch(self):
         ntk = MixedNetwork()
