@@ -1,0 +1,317 @@
+"""Frozen pre-optimization verification path, for benchmark comparison only.
+
+This is a verbatim snapshot of the seed CDCL solver and the seed ``cec``
+flow (per-call ``CnfBuilder`` + ``Solver``, private random patterns, one
+monolithic miter solve).  ``bench_sat.py`` times it against the current
+session-based stack to pin the speedup.  Do not use outside benchmarks.
+"""
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.networks.base import LogicNetwork
+from repro.sat.cnf import CnfBuilder
+
+SAT = True
+UNSAT = False
+
+
+class BaselineSolver:
+    """The seed CDCL solver: dict watch lists, O(num_vars) decisions."""
+
+    def __init__(self):
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self.watches: Dict[int, List[int]] = {}
+        self.assign: List[int] = [0]
+        self.level: List[int] = [0]
+        self.reason: List[Optional[int]] = [None]
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.activity: List[float] = [0.0]
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.saved_phase: List[int] = [0]
+        self.qhead = 0
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.assign.append(0)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.saved_phase.append(-1)
+        return self.num_vars
+
+    def _ensure_vars(self, lits: Iterable[int]) -> None:
+        m = max((abs(l) for l in lits), default=0)
+        while self.num_vars < m:
+            self.new_var()
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        lits = list(dict.fromkeys(lits))
+        self._ensure_vars(lits)
+        if any(-l in lits for l in lits):
+            return True
+        if self.trail_lim:
+            raise RuntimeError("clauses must be added at decision level 0")
+        out = []
+        for l in lits:
+            v = self._value(l)
+            if v == 1:
+                return True
+            if v == 0:
+                out.append(l)
+        if not out:
+            self.clauses.append([])
+            return False
+        if len(out) == 1:
+            return self._enqueue(out[0], None)
+        idx = len(self.clauses)
+        self.clauses.append(out)
+        self.watches.setdefault(out[0], []).append(idx)
+        self.watches.setdefault(out[1], []).append(idx)
+        return True
+
+    def _value(self, lit: int) -> int:
+        a = self.assign[abs(lit)]
+        return a if lit > 0 else -a
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        if self._value(lit) == -1:
+            return False
+        if self._value(lit) == 1:
+            return True
+        v = abs(lit)
+        self.assign[v] = 1 if lit > 0 else -1
+        self.level[v] = len(self.trail_lim)
+        self.reason[v] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        while self.qhead < len(self.trail):
+            lit = self.trail[self.qhead]
+            self.qhead += 1
+            false_lit = -lit
+            watchlist = self.watches.get(false_lit, [])
+            new_list = []
+            for pos, ci in enumerate(watchlist):
+                clause = self.clauses[ci]
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                if self._value(clause[0]) == 1:
+                    new_list.append(ci)
+                    continue
+                found = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) != -1:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        self.watches.setdefault(clause[1], []).append(ci)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_list.append(ci)
+                if not self._enqueue(clause[0], ci):
+                    self.watches[false_lit] = new_list + watchlist[pos + 1:]
+                    return ci
+            self.watches[false_lit] = new_list
+        return None
+
+    def _bump(self, v: int) -> None:
+        self.activity[v] += self.var_inc
+        if self.activity[v] > 1e100:
+            for i in range(1, self.num_vars + 1):
+                self.activity[i] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, confl: int):
+        learnt = [0]
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        p = None
+        index = len(self.trail) - 1
+        cur_level = len(self.trail_lim)
+
+        while True:
+            clause = self.clauses[confl]
+            for lit in clause:
+                v = abs(lit)
+                if p is not None and v == abs(p):
+                    continue
+                if not seen[v] and self.level[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self.level[v] >= cur_level:
+                        counter += 1
+                    else:
+                        learnt.append(lit)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            p = self.trail[index]
+            v = abs(p)
+            seen[v] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            confl = self.reason[v]
+        learnt[0] = -p
+
+        cleaned = [learnt[0]]
+        for lit in learnt[1:]:
+            r = self.reason[abs(lit)]
+            if r is None:
+                cleaned.append(lit)
+                continue
+            implied = all(
+                abs(q) == abs(lit) or seen[abs(q)] or self.level[abs(q)] == 0
+                for q in self.clauses[r]
+            )
+            if not implied:
+                cleaned.append(lit)
+        learnt = cleaned
+
+        if len(learnt) == 1:
+            bt = 0
+        else:
+            bt = max(self.level[abs(l)] for l in learnt[1:])
+        return learnt, bt
+
+    def _cancel_until(self, lvl: int) -> None:
+        while len(self.trail_lim) > lvl:
+            pos = self.trail_lim.pop()
+            while len(self.trail) > pos:
+                lit = self.trail.pop()
+                v = abs(lit)
+                self.saved_phase[v] = 1 if lit > 0 else -1
+                self.assign[v] = 0
+                self.reason[v] = None
+            self.qhead = min(self.qhead, len(self.trail))
+
+    def _decide(self) -> Optional[int]:
+        best_v, best_a = 0, -1.0
+        for v in range(1, self.num_vars + 1):
+            if self.assign[v] == 0 and self.activity[v] > best_a:
+                best_v, best_a = v, self.activity[v]
+        if best_v == 0:
+            return None
+        phase = self.saved_phase[best_v]
+        return best_v if phase >= 0 else -best_v
+
+    def solve(self, assumptions: Sequence[int] = (), conflict_limit: Optional[int] = None):
+        if any(not c for c in self.clauses):
+            return UNSAT
+        if self._propagate() is not None:
+            return UNSAT
+
+        for a in assumptions:
+            self._ensure_vars([a])
+            if self._value(a) == -1:
+                self._cancel_until(0)
+                return UNSAT
+            if self._value(a) == 0:
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(a, None)
+                if self._propagate() is not None:
+                    self._cancel_until(0)
+                    return UNSAT
+        base_level = len(self.trail_lim)
+
+        conflicts = 0
+        restart_limit = 100
+        since_restart = 0
+        while True:
+            confl = self._propagate()
+            if confl is not None:
+                conflicts += 1
+                since_restart += 1
+                if conflict_limit is not None and conflicts > conflict_limit:
+                    self._cancel_until(0)
+                    return None
+                if len(self.trail_lim) == base_level:
+                    self._cancel_until(0)
+                    return UNSAT
+                learnt, bt = self._analyze(confl)
+                self._cancel_until(max(bt, base_level))
+                if len(learnt) == 1:
+                    if not self._enqueue(learnt[0], None):
+                        self._cancel_until(0)
+                        return UNSAT
+                else:
+                    idx = len(self.clauses)
+                    self.clauses.append(learnt)
+                    self.watches.setdefault(learnt[0], []).append(idx)
+                    self.watches.setdefault(learnt[1], []).append(idx)
+                    self._enqueue(learnt[0], idx)
+                self.var_inc /= self.var_decay
+                if since_restart > restart_limit:
+                    since_restart = 0
+                    restart_limit = int(restart_limit * 1.5)
+                    self._cancel_until(base_level)
+            else:
+                lit = self._decide()
+                if lit is None:
+                    self.model = list(self.assign)
+                    self._cancel_until(0)
+                    return SAT
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+
+    def model_value(self, var: int) -> bool:
+        return self.model[var] > 0
+
+
+def baseline_find_counterexample(a: LogicNetwork, b: LogicNetwork, rounds: int = 64,
+                                 width: int = 64, seed: int = 1) -> Optional[List[bool]]:
+    """The seed random-simulation phase: fresh patterns every round."""
+    rng = random.Random(seed)
+    n = a.num_pis()
+    mask = (1 << width) - 1
+    for _ in range(rounds):
+        patterns = [rng.getrandbits(width) for _ in range(n)]
+        va = a.simulate_patterns(patterns, mask)
+        vb = b.simulate_patterns(patterns, mask)
+        for pa, pb in zip(a.pos, b.pos):
+            xa = va[pa >> 1] ^ (mask if pa & 1 else 0)
+            xb = vb[pb >> 1] ^ (mask if pb & 1 else 0)
+            diff = xa ^ xb
+            if diff:
+                bit = (diff & -diff).bit_length() - 1
+                return [bool((patterns[i] >> bit) & 1) for i in range(n)]
+    return None
+
+
+def baseline_cec(a: LogicNetwork, b: LogicNetwork, sim_limit: int = 12,
+                 sim_rounds: int = 16) -> bool:
+    """The seed cec flow: encode-from-scratch, one monolithic miter solve."""
+    if a.num_pis() <= sim_limit:
+        ta = a.simulate_truth_tables()
+        tb = b.simulate_truth_tables()
+        return all(x == y for x, y in zip(ta, tb))
+
+    if baseline_find_counterexample(a, b, rounds=sim_rounds) is not None:
+        return False
+
+    builder = CnfBuilder()
+    pi_vars = {i: builder.new_var() for i in range(a.num_pis())}
+    _, po_a = builder.encode(a, pi_vars)
+    _, po_b = builder.encode(b, pi_vars)
+    miter_outs = []
+    for la, lb in zip(po_a, po_b):
+        m = builder.new_var()
+        builder.add_clause([-m, la, lb])
+        builder.add_clause([-m, -la, -lb])
+        builder.add_clause([m, -la, lb])
+        builder.add_clause([m, la, -lb])
+        miter_outs.append(m)
+    builder.add_clause(miter_outs)
+
+    solver = BaselineSolver()
+    for _ in range(builder.num_vars):
+        solver.new_var()
+    for cl in builder.clauses:
+        if not solver.add_clause(cl):
+            return True
+    return solver.solve() == UNSAT

@@ -81,8 +81,13 @@ def cmd_optimize(args) -> int:
 def _print_engine_stats(session: MappingSession) -> None:
     import json
 
+    from .sat import solver_stats
+    from .sim import sim_stats
+
     print("engine stats:")
     print(json.dumps(session.stats(), indent=2, default=str))
+    print("verification stats:")
+    print(json.dumps({"solver": solver_stats(), "sim": sim_stats()}, indent=2))
 
 
 def cmd_map_luts(args) -> int:
@@ -93,10 +98,10 @@ def cmd_map_luts(args) -> int:
     session = MappingSession.of(subject)
     lut = lut_map(session, k=args.k, objective=args.objective)
     print(f"{lut.num_luts()} LUTs, depth {lut.depth()}")
-    if args.engine_stats:
-        _print_engine_stats(session)
     if args.verify:
         print("cec:", "ok" if cec(ntk, lut.to_logic_network(Aig)) else "FAILED")
+    if args.engine_stats:
+        _print_engine_stats(session)
     if args.output:
         from .io import write_blif
 
@@ -113,10 +118,10 @@ def cmd_map_asic(args) -> int:
     session = MappingSession.of(subject)
     nl = asic_map(session, objective=args.objective)
     print(f"{nl.num_cells()} cells, area {nl.area():.2f} µm², delay {nl.delay():.2f} ps")
-    if args.engine_stats:
-        _print_engine_stats(session)
     if args.verify:
         print("cec:", "ok" if cec(ntk, nl.to_logic_network(Aig)) else "FAILED")
+    if args.engine_stats:
+        _print_engine_stats(session)
     if args.output:
         from .io import write_verilog_netlist
 

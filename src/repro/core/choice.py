@@ -139,13 +139,11 @@ class ChoiceNetwork:
 
     def verify(self, samples: int = 64, seed: int = 7) -> bool:
         """Random-simulation check that every choice matches its representative."""
-        import random
+        from ..sim.engine import PatternPool, SimEngine
 
-        rng = random.Random(seed)
-        width = samples
-        mask = (1 << width) - 1
-        patterns = [rng.getrandbits(width) for _ in range(self.ntk.num_pis())]
-        vals = self.ntk.simulate_patterns(patterns, mask)
+        pool = PatternPool(self.ntk.num_pis(), n_patterns=samples, seed=seed)
+        vals = SimEngine(self.ntk, pool).signatures()
+        mask = pool.mask
         for rep, lst in self.choices_of.items():
             for node, phase in lst:
                 expect = vals[rep] ^ (mask if phase else 0)
@@ -156,35 +154,19 @@ class ChoiceNetwork:
     def verify_sat(self, conflict_limit: int = 20000) -> bool:
         """Prove every equivalence link with SAT (slower, exact).
 
-        Encodes the network once and checks one miter per choice with an
-        assumption selector, exactly like ABC's choice verification.
-        Returns False on any disproved (or timed-out) link.
+        One :class:`~repro.sat.session.EquivalenceSession` encodes the
+        network once; each link is an incremental assumption query, exactly
+        like ABC's choice verification.  Returns False on any disproved (or
+        timed-out) link.
         """
-        from ..sat.cnf import CnfBuilder
-        from ..sat.solver import Solver, UNSAT
+        from ..sat.session import EquivalenceSession
 
-        builder = CnfBuilder()
-        pi_vars = {i: builder.new_var() for i in range(self.ntk.num_pis())}
-        var_of, _ = builder.encode(self.ntk, pi_vars)
-        solver = Solver()
-        for _ in range(builder.num_vars):
-            solver.new_var()
-        for cl in builder.clauses:
-            if not solver.add_clause(cl):
-                return False
+        session = EquivalenceSession(self.ntk)
         for rep, members in self.choices_of.items():
             for node, phase in members:
-                a, b = var_of[rep], var_of[node]
-                s = solver.new_var()
-                if phase:
-                    # refute a == b  (they must be complements)
-                    solver.add_clause([-s, a, -b])
-                    solver.add_clause([-s, -a, b])
-                else:
-                    solver.add_clause([-s, a, b])
-                    solver.add_clause([-s, -a, -b])
-                res = solver.solve(assumptions=[s], conflict_limit=conflict_limit)
-                if res is not UNSAT:
+                res = session.prove_node_equal(rep, node, phase,
+                                               conflict_limit=conflict_limit)
+                if res is not True:
                     return False
         return True
 

@@ -47,6 +47,9 @@ def build_dch(snapshots: Sequence[LogicNetwork], sat_verify: bool = True,
         snap.copy_into_with_map(mixed, include_pos=False, pi_map=snap_pi_map)
 
     choice_net = ChoiceNetwork(mixed)
+    # one shared verification pass over the superimposed network: a single
+    # equivalence session plus pattern pool (with SAT counterexamples
+    # recycled into the simulation signatures) detects cross-snapshot choices
     classes = functional_classes(mixed, sat_verify=sat_verify, **eq_kwargs)
     for members in classes:
         rep, _ = members[0]

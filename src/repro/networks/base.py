@@ -517,33 +517,14 @@ class LogicNetwork:
         """Bit-parallel simulation; returns one packed word per node.
 
         ``pi_patterns[i]`` is the stimulus of PI ``i``; ``mask`` selects the
-        valid bits (complementation is XOR with ``mask``).
+        valid bits (complementation is XOR with ``mask``).  This is a thin
+        front over :func:`repro.sim.engine.simulate_words`, which compiles
+        the network into gate-type-batched integer ops and caches the
+        compiled program per network.
         """
-        if len(pi_patterns) != len(self._pis):
-            raise ValueError("pattern count must equal PI count")
-        vals = [0] * len(self._types)
-        for i, n in enumerate(self._pis):
-            vals[n] = pi_patterns[i] & mask
+        from ..sim.engine import simulate_words
 
-        def v(literal: int) -> int:
-            x = vals[literal >> 1]
-            return x ^ mask if literal & 1 else x
-
-        for n in range(len(self._types)):
-            t = self._types[n]
-            if t == GateType.AND:
-                a, b = self._fanins[n]
-                vals[n] = v(a) & v(b)
-            elif t == GateType.XOR:
-                a, b = self._fanins[n]
-                vals[n] = v(a) ^ v(b)
-            elif t == GateType.MAJ:
-                a, b, c = (v(f) for f in self._fanins[n])
-                vals[n] = (a & b) | (a & c) | (b & c)
-            elif t == GateType.XOR3:
-                a, b, c = (v(f) for f in self._fanins[n])
-                vals[n] = a ^ b ^ c
-        return vals
+        return simulate_words(self, pi_patterns, mask)
 
     def simulate(self, assignment: Sequence[bool]) -> List[bool]:
         """Evaluate the POs under a single PI assignment."""

@@ -1,41 +1,34 @@
 """Functional-equivalence class detection (FRAIG-style sim + SAT).
 
 Finds classes of functionally equivalent (possibly complemented) gate nodes
-inside one network: random bit-parallel simulation buckets candidates by
-signature, then an incremental SAT check confirms each candidate pair, using
-counterexamples to refine the buckets.  This is the engine behind both
-``sweep`` (merge equivalent nodes) and the DCH baseline (detect choices
-between optimization snapshots).
+inside one network: bit-parallel simulation over a shared
+:class:`~repro.sim.engine.PatternPool` buckets candidates by signature, then
+one :class:`~repro.sat.session.EquivalenceSession` (the network is
+Tseitin-encoded exactly once) confirms each candidate membership through
+incremental assumption queries.  Every SAT counterexample is recycled into
+the pattern pool, so refreshed signatures distinguish later candidates that
+would otherwise each cost a SAT call — the classic simulation-refinement
+loop of SAT sweeping.  This is the engine behind both ``sweep`` (merge
+equivalent nodes) and the DCH baseline (detect choices between optimization
+snapshots).
 """
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional, Tuple
 
 from ..networks.base import LogicNetwork
-from ..sat.cnf import CnfBuilder
-from ..sat.solver import SAT, UNSAT, Solver
+from ..sat.session import EquivalenceSession
+from ..sim.engine import PatternPool, SimEngine
 
 __all__ = ["functional_classes"]
-
-
-def _signatures(ntk: LogicNetwork, patterns: List[List[int]], width: int) -> List[int]:
-    mask = (1 << width) - 1
-    sigs = [0] * ntk.num_nodes()
-    shift = 0
-    for pat in patterns:
-        vals = ntk.simulate_patterns(pat, mask)
-        for n in range(ntk.num_nodes()):
-            sigs[n] |= vals[n] << shift
-        shift += width
-    return sigs
 
 
 def functional_classes(ntk: LogicNetwork, sim_rounds: int = 4, width: int = 64,
                        seed: int = 42, sat_verify: bool = True,
                        conflict_limit: int = 2000,
-                       max_class_size: int = 16) -> List[List[Tuple[int, bool]]]:
+                       max_class_size: int = 16,
+                       pool: Optional[PatternPool] = None) -> List[List[Tuple[int, bool]]]:
     """Detect equivalence classes of gate nodes.
 
     Returns a list of classes; each class is ``[(node, phase), ...]`` sorted
@@ -45,14 +38,14 @@ def functional_classes(ntk: LogicNetwork, sim_rounds: int = 4, width: int = 64,
     With ``sat_verify`` (default) every membership is proven by SAT;
     otherwise long random simulation alone decides (useful for speed, callers
     are expected to CEC their end-to-end results — as all our experiments
-    do).
+    do).  A caller-supplied ``pool`` (e.g. one that has already accumulated
+    counterexamples from earlier passes) sharpens the initial buckets.
     """
-    rng = random.Random(seed)
-    n_pis = ntk.num_pis()
-    patterns = [[rng.getrandbits(width) for _ in range(n_pis)] for _ in range(sim_rounds)]
-    total_width = width * sim_rounds
-    total_mask = (1 << total_width) - 1
-    sigs = _signatures(ntk, patterns, width)
+    if pool is None:
+        pool = PatternPool(ntk.num_pis(), n_patterns=sim_rounds * width, seed=seed)
+    engine = SimEngine(ntk, pool)
+    sigs = engine.signatures()
+    total_mask = pool.mask
 
     buckets: Dict[int, List[int]] = {}
     for node in ntk.gates():
@@ -64,40 +57,26 @@ def functional_classes(ntk: LogicNetwork, sim_rounds: int = 4, width: int = 64,
     if not sat_verify:
         return [[(m, sigs[m] != sigs[cls[0]]) for m in cls] for cls in candidate_classes]
 
-    builder = CnfBuilder()
-    pi_vars = {i: builder.new_var() for i in range(n_pis)}
-    var_of, _ = builder.encode(ntk, pi_vars)
-    solver = Solver()
-    for _ in range(builder.num_vars):
-        solver.new_var()
-    ok = True
-    for cl in builder.clauses:
-        ok = solver.add_clause(cl) and ok
-
-    def prove_equal(a: int, b: int, compl: bool) -> Optional[bool]:
-        """True if node a == node b (xor compl) everywhere; None on timeout."""
-        va, vb = var_of[a], var_of[b]
-        s = solver.new_var()
-        if compl:
-            # falsify a == !b: ask SAT for a == b
-            solver.add_clause([-s, va, -vb])
-            solver.add_clause([-s, -va, vb])
-        else:
-            solver.add_clause([-s, va, vb])
-            solver.add_clause([-s, -va, -vb])
-        res = solver.solve(assumptions=[s], conflict_limit=conflict_limit)
-        if res is None:
-            return None
-        return res == UNSAT
-
+    session = EquivalenceSession(ntk, pool=pool)
     out: List[List[Tuple[int, bool]]] = []
     for cls in candidate_classes:
         cls = cls[:max_class_size]
         rep = cls[0]
         members: List[Tuple[int, bool]] = [(rep, False)]
         for m in cls[1:]:
-            compl = sigs[m] != sigs[rep]
-            verdict = prove_equal(rep, m, compl)
+            # refresh against the grown pool first: a counterexample recycled
+            # by an earlier query may already distinguish this candidate
+            sigs = engine.signatures()
+            mask = pool.mask
+            sig_rep, sig_m = sigs[rep], sigs[m]
+            if sig_m == sig_rep:
+                compl = False
+            elif sig_m == sig_rep ^ mask:
+                compl = True
+            else:
+                continue  # refuted by a recycled pattern, no SAT call needed
+            verdict = session.prove_node_equal(rep, m, compl,
+                                               conflict_limit=conflict_limit)
             if verdict:
                 members.append((m, compl))
         if len(members) > 1:

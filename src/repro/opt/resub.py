@@ -2,10 +2,14 @@
 
 For every AND node the pass looks for a pair of existing *divisor* nodes
 whose AND (in some polarity) reproduces the node's function — a classic
-1-resubstitution.  Candidates are discovered with bit-parallel random
-simulation signatures and confirmed with an incremental SAT check, so
-accepted rewrites are provably correct.  Replacing a node whose MFFC has
-``k`` gates by a single fresh AND saves ``k - 1`` gates.
+1-resubstitution.  Candidates are discovered with bit-parallel signatures
+from the shared simulation engine and confirmed through one
+:class:`~repro.sat.session.EquivalenceSession` (the network is encoded once;
+each check is an incremental assumption query against an auxiliary AND), so
+accepted rewrites are provably correct.  Counterexamples from failed checks
+are recycled into the pattern pool, sharpening the signatures that gate
+later candidates.  Replacing a node whose MFFC has ``k`` gates by a single
+fresh AND saves ``k - 1`` gates.
 
 Divisors are restricted to nodes with smaller topological index, which
 guarantees acyclicity and lets the network be rebuilt in one sweep.
@@ -13,12 +17,11 @@ guarantees acyclicity and lets the network be rebuilt in one sweep.
 
 from __future__ import annotations
 
-import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..networks.base import GateType, LogicNetwork
-from ..sat.cnf import CnfBuilder
-from ..sat.solver import UNSAT, Solver
+from ..sat.session import EquivalenceSession
+from ..sim.engine import PatternPool, SimEngine
 
 __all__ = ["resub"]
 
@@ -32,22 +35,14 @@ def resub(ntk: LogicNetwork, width: int = 256, seed: int = 17,
     MIG networks).  ``max_divisors`` bounds the candidate window per node,
     ``max_checks`` bounds the total number of SAT calls.
     """
-    n_total = ntk.num_nodes()
-    rng = random.Random(seed)
-    mask = (1 << width) - 1
-    patterns = [rng.getrandbits(width) for _ in range(ntk.num_pis())]
-    sigs = ntk.simulate_patterns(patterns, mask)
+    pool = PatternPool(ntk.num_pis(), n_patterns=width, seed=seed)
+    engine = SimEngine(ntk, pool)
+    sigs = engine.signatures()
+    mask = pool.mask
     levels = ntk.levels()
     fanout = ntk.fanout_counts()
 
-    builder = CnfBuilder()
-    pi_vars = {i: builder.new_var() for i in range(ntk.num_pis())}
-    var_of, _ = builder.encode(ntk, pi_vars)
-    solver = Solver()
-    for _ in range(builder.num_vars):
-        solver.new_var()
-    for cl in builder.clauses:
-        solver.add_clause(cl)
+    session = EquivalenceSession(ntk, pool=pool)
     checks = [0]
 
     def sat_equal(target: int, lit_a: int, lit_b: int, compl: bool) -> bool:
@@ -55,18 +50,12 @@ def resub(ntk: LogicNetwork, width: int = 256, seed: int = 17,
         if checks[0] >= max_checks:
             return False
         checks[0] += 1
-        t = var_of[target] * (-1 if compl else 1)
-        a = var_of[lit_a >> 1] * (-1 if lit_a & 1 else 1)
-        b = var_of[lit_b >> 1] * (-1 if lit_b & 1 else 1)
-        g = solver.new_var()  # g -> (t != (a & b))
-        s = solver.new_var()  # s <-> a & b  (fresh each call; cheap)
-        solver.add_clause([-s, a])
-        solver.add_clause([-s, b])
-        solver.add_clause([s, -a, -b])
-        solver.add_clause([-g, t, s])
-        solver.add_clause([-g, -t, -s])
-        res = solver.solve(assumptions=[g], conflict_limit=conflict_limit)
-        return res == UNSAT
+        t = session.node_literal(target)
+        s = session.make_and(session.network_literal(lit_a),
+                             session.network_literal(lit_b))
+        res = session.prove_equal(-t if compl else t, s,
+                                  conflict_limit=conflict_limit)
+        return res is True
 
     replacements: Dict[int, Tuple[int, int, bool]] = {}  # node -> (lit_a, lit_b, out_compl)
 
@@ -76,6 +65,9 @@ def resub(ntk: LogicNetwork, width: int = 256, seed: int = 17,
         cone = ntk.mffc(node, fanout)
         if len(cone) < 2:
             continue  # nothing to gain: replacement costs one new AND
+        # recycled counterexamples may have widened the pool since last node
+        sigs = engine.signatures()
+        mask = pool.mask
         target_sig = sigs[node]
         # divisor window: earlier nodes at or below this level, nearest first
         divisors: List[int] = []

@@ -1,4 +1,10 @@
-"""Functional sweep: merge equivalent nodes (ABC's ``fraig``/``&sweep``)."""
+"""Functional sweep: merge equivalent nodes (ABC's ``fraig``/``&sweep``).
+
+Class detection runs on the shared verification stack: one equivalence
+session per network, bit-parallel signatures over a shared pattern pool,
+SAT counterexamples recycled as simulation patterns (``pool=`` forwards to
+:func:`~repro.opt.equivalence.functional_classes`).
+"""
 
 from __future__ import annotations
 

@@ -4,9 +4,14 @@ Strategy, mirroring practical CEC engines:
 
 1. **Exhaustive simulation** when the PI count is small (≤ ``sim_limit``):
    bit-parallel truth-table comparison, exact and fast.
-2. **Random simulation** to hunt for cheap counterexamples.
-3. **SAT miter**: Tseitin-encode both networks over shared PI variables, add
-   a disequality miter per PO pair, and prove UNSAT with the CDCL solver.
+2. **Random simulation** over a shared :class:`~repro.sim.engine.PatternPool`
+   to hunt for cheap counterexamples.
+3. **SAT miter**: one :class:`~repro.sat.session.EquivalenceSession` encodes
+   both networks over shared PI variables and proves each PO pair equal
+   through incremental assumption queries, so clauses learned for one output
+   help the next.  Any SAT counterexample is recycled into the same pattern
+   pool the simulation phase used — callers chaining several checks (pass a
+   ``pool``) get sharper filtering for free.
 
 Every optimization and mapping pass in this library is verified through
 :func:`cec` in the test suite, mirroring the paper's statement that "all
@@ -15,12 +20,11 @@ results have been formally verified with ABC's cec command".
 
 from __future__ import annotations
 
-import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..networks.base import LogicNetwork
-from .cnf import CnfBuilder
-from .solver import SAT, Solver
+from ..sim.engine import PatternPool, SimEngine
+from .session import EquivalenceSession
 
 __all__ = ["cec", "CecResult", "find_counterexample"]
 
@@ -50,29 +54,43 @@ def _interface_check(a: LogicNetwork, b: LogicNetwork) -> None:
         raise ValueError(f"PO count mismatch: {a.num_pos()} vs {b.num_pos()}")
 
 
-def find_counterexample(a: LogicNetwork, b: LogicNetwork, rounds: int = 64,
-                        width: int = 64, seed: int = 1) -> Optional[List[bool]]:
-    """Random simulation: returns a distinguishing input or None."""
-    _interface_check(a, b)
-    rng = random.Random(seed)
-    n = a.num_pis()
-    mask = (1 << width) - 1
-    for _ in range(rounds):
-        patterns = [rng.getrandbits(width) for _ in range(n)]
-        va = a.simulate_patterns(patterns, mask)
-        vb = b.simulate_patterns(patterns, mask)
-        for pa, pb in zip(a.pos, b.pos):
-            xa = va[pa >> 1] ^ (mask if pa & 1 else 0)
-            xb = vb[pb >> 1] ^ (mask if pb & 1 else 0)
-            diff = xa ^ xb
-            if diff:
-                bit = (diff & -diff).bit_length() - 1
-                return [bool((patterns[i] >> bit) & 1) for i in range(n)]
+def _sim_counterexample(ea: SimEngine, eb: SimEngine,
+                        pool: PatternPool) -> Optional[List[bool]]:
+    """Compare PO signatures over the pool; a distinguishing input or None."""
+    a, b = ea.ntk, eb.ntk
+    va = ea.signatures()
+    vb = eb.signatures()
+    mask = pool.mask
+    for pa, pb in zip(a.pos, b.pos):
+        xa = va[pa >> 1] ^ (mask if pa & 1 else 0)
+        xb = vb[pb >> 1] ^ (mask if pb & 1 else 0)
+        diff = xa ^ xb
+        if diff:
+            bit = (diff & -diff).bit_length() - 1
+            return pool.pattern(bit)
     return None
 
 
+def find_counterexample(a: LogicNetwork, b: LogicNetwork, rounds: int = 64,
+                        width: int = 64, seed: int = 1,
+                        pool: Optional[PatternPool] = None) -> Optional[List[bool]]:
+    """Random simulation: returns a distinguishing input or None.
+
+    ``rounds * width`` random patterns are drawn into one shared pool (or the
+    caller's ``pool`` is used as-is — including any recycled SAT
+    counterexamples it has accumulated) and both networks are simulated once,
+    bit-parallel over the full pool width.
+    """
+    _interface_check(a, b)
+    if pool is None:
+        pool = PatternPool(a.num_pis(), n_patterns=rounds * width, seed=seed)
+    ea = SimEngine(a, pool)
+    eb = SimEngine(b, pool)
+    return _sim_counterexample(ea, eb, pool)
+
+
 def cec(a: LogicNetwork, b: LogicNetwork, sim_limit: int = 12,
-        sim_rounds: int = 16) -> CecResult:
+        sim_rounds: int = 16, pool: Optional[PatternPool] = None) -> CecResult:
     """Check combinational equivalence of two networks (PO-by-PO, in order)."""
     _interface_check(a, b)
 
@@ -87,34 +105,22 @@ def cec(a: LogicNetwork, b: LogicNetwork, sim_limit: int = 12,
                 return CecResult(False, cex, "exhaustive simulation")
         return CecResult(True, method="exhaustive simulation")
 
-    cex = find_counterexample(a, b, rounds=sim_rounds)
+    if pool is None:
+        pool = PatternPool(a.num_pis(), n_patterns=sim_rounds * 64, seed=1)
+    cex = _sim_counterexample(SimEngine(a, pool), SimEngine(b, pool), pool)
     if cex is not None:
         return CecResult(False, cex, "random simulation")
 
-    # SAT miter over shared PIs
-    builder = CnfBuilder()
-    pi_vars = {i: builder.new_var() for i in range(a.num_pis())}
-    _, po_a = builder.encode(a, pi_vars)
-    _, po_b = builder.encode(b, pi_vars)
-    miter_outs = []
-    for la, lb in zip(po_a, po_b):
-        m = builder.new_var()
-        # m <-> (la xor lb)
-        builder.add_clause([-m, la, lb])
-        builder.add_clause([-m, -la, -lb])
-        builder.add_clause([m, -la, lb])
-        builder.add_clause([m, la, -lb])
-        miter_outs.append(m)
-    builder.add_clause(miter_outs)  # some PO differs
+    session = EquivalenceSession(a, pool=pool)
+    ib = session.add_network(b)
 
-    solver = Solver()
-    for _ in range(builder.num_vars):
-        solver.new_var()
-    for cl in builder.clauses:
-        if not solver.add_clause(cl):
-            return CecResult(True, method="sat (trivially unsat)")
-    res = solver.solve()
-    if res == SAT:
-        cex = [solver.model_value(pi_vars[i]) for i in range(a.num_pis())]
-        return CecResult(False, cex, "sat")
+    # SAT miter over shared PIs, one incremental query per PO pair
+    po_a = session.output_literals(0)
+    po_b = session.output_literals(ib)
+    for la, lb in zip(po_a, po_b):
+        res = session.prove_equal(la, lb)
+        if res is False:
+            return CecResult(False, session.last_counterexample, "sat")
+        if res is None:  # no budget is set, so "unknown" must never leak out
+            raise RuntimeError("unbudgeted cec SAT query returned unknown")
     return CecResult(True, method="sat")

@@ -1,4 +1,9 @@
-"""Tseitin CNF encoding of logic networks."""
+"""Tseitin CNF encoding of logic networks.
+
+Consumers normally do not use this directly any more: an
+:class:`~repro.sat.session.EquivalenceSession` owns one builder, encodes each
+network once and answers every subsequent query incrementally.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,172 @@
+"""Shared incremental equivalence sessions.
+
+Before this module existed, every verification consumer (``cec``,
+``functional_classes``, ``resub``, choice verification, ``dch``) rebuilt a
+``CnfBuilder``/``Solver`` pair from scratch and rolled its own random
+patterns.  An :class:`EquivalenceSession` Tseitin-encodes a network (or a
+miter of several networks over shared PIs) *once* and answers many
+(in)equivalence queries through assumption selector literals on one
+persistent solver, so learned clauses accumulate across queries.
+
+Counterexample recycling closes the FRAIG loop: every SAT model found by a
+query is folded back into the session's shared
+:class:`~repro.sim.engine.PatternPool`, so subsequent simulation filtering
+(through the session's per-network :class:`~repro.sim.engine.SimEngine`\\ s)
+distinguishes candidates that the SAT solver already refuted — often
+avoiding the next SAT call entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import PatternPool, SimEngine
+from .cnf import CnfBuilder
+from .solver import UNSAT, Solver
+
+__all__ = ["EquivalenceSession"]
+
+
+class EquivalenceSession:
+    """One Tseitin encoding, many incremental (in)equivalence queries.
+
+    ``prove_equal`` and friends return ``True`` (proven), ``False``
+    (counterexample found — and recycled into the pattern pool) or ``None``
+    (conflict budget exhausted).  Additional networks can be encoded over the
+    same PI variables with :meth:`add_network`, which is how miters are
+    built.
+    """
+
+    def __init__(self, ntk, pool: Optional[PatternPool] = None, *,
+                 n_patterns: int = 256, seed: int = 1):
+        self.pool = pool if pool is not None else PatternPool(
+            ntk.num_pis(), n_patterns, seed)
+        self._solver = Solver()
+        self._builder = CnfBuilder()
+        self.pi_vars: Dict[int, int] = {
+            i: self._builder.new_var() for i in range(ntk.num_pis())
+        }
+        self.networks: List = []
+        self.engines: List[SimEngine] = []
+        self._var_of: List[Dict[int, int]] = []
+        self._po_lits: List[List[int]] = []
+        self._cex: Optional[List[bool]] = None
+        self.queries = 0
+        self.proved = 0
+        self.refuted = 0
+        self.timeouts = 0
+        self.add_network(ntk)
+
+    # -- encoding ------------------------------------------------------------
+
+    def add_network(self, ntk) -> int:
+        """Encode another network over the shared PI variables; returns its index."""
+        if ntk.num_pis() != len(self.pi_vars):
+            raise ValueError("all session networks must share the PI interface")
+        builder = self._builder
+        mark = len(builder.clauses)
+        var_of, po_lits = builder.encode(ntk, self.pi_vars)
+        solver = self._solver
+        for _ in range(builder.num_vars - solver.num_vars):
+            solver.new_var()
+        for cl in builder.clauses[mark:]:
+            solver.add_clause(cl)
+        self.networks.append(ntk)
+        self.engines.append(SimEngine(ntk, self.pool))
+        self._var_of.append(var_of)
+        self._po_lits.append(po_lits)
+        return len(self.networks) - 1
+
+    def _new_var(self) -> int:
+        """Fresh variable, kept in lockstep between builder and solver so a
+        later :meth:`add_network` cannot collide with selector variables."""
+        v = self._builder.new_var()
+        solver = self._solver
+        while solver.num_vars < v:
+            solver.new_var()
+        return v
+
+    def engine(self, index: int = 0) -> SimEngine:
+        """The simulation engine of network ``index`` (shared pattern pool)."""
+        return self.engines[index]
+
+    def node_literal(self, node: int, index: int = 0) -> int:
+        """Signed solver literal of a network node's output."""
+        return self._var_of[index][node]
+
+    def network_literal(self, literal: int, index: int = 0) -> int:
+        """Signed solver literal of a network *literal* (complement applied)."""
+        v = self._var_of[index][literal >> 1]
+        return -v if literal & 1 else v
+
+    def output_literals(self, index: int = 0) -> List[int]:
+        """Signed solver literals of the network's POs, in order."""
+        return list(self._po_lits[index])
+
+    def make_and(self, sl_a: int, sl_b: int) -> int:
+        """A fresh solver literal constrained to ``sl_a & sl_b``.
+
+        Lets consumers (e.g. ``resub``) pose queries about small auxiliary
+        functions without ever touching a ``CnfBuilder``/``Solver`` directly.
+        """
+        solver = self._solver
+        s = self._new_var()
+        solver.add_clause([-s, sl_a])
+        solver.add_clause([-s, sl_b])
+        solver.add_clause([s, -sl_a, -sl_b])
+        return s
+
+    # -- queries -------------------------------------------------------------
+
+    def prove_equal(self, sl_a: int, sl_b: int,
+                    conflict_limit: Optional[int] = None) -> Optional[bool]:
+        """Prove two solver literals equal everywhere.
+
+        Returns True if proven, False with a recycled counterexample if they
+        differ, None if the conflict budget ran out.  Each query burns one
+        selector variable; the miter clauses are permanently disabled
+        afterwards, while clauses the solver learned remain valid for later
+        queries.
+        """
+        solver = self._solver
+        self.queries += 1
+        s = self._new_var()
+        # under s: sl_a != sl_b
+        solver.add_clause([-s, sl_a, sl_b])
+        solver.add_clause([-s, -sl_a, -sl_b])
+        res = solver.solve(assumptions=[s], conflict_limit=conflict_limit)
+        solver.add_clause([-s])  # retire the selector
+        if res is None:
+            self.timeouts += 1
+            return None
+        if res == UNSAT:
+            self.proved += 1
+            return True
+        self.refuted += 1
+        cex = [solver.model_value(self.pi_vars[i]) for i in range(len(self.pi_vars))]
+        self._cex = cex
+        self.pool.add_counterexample(cex)
+        return False
+
+    def prove_node_equal(self, node_a: int, node_b: int, compl: bool = False,
+                         conflict_limit: Optional[int] = None,
+                         index_a: int = 0, index_b: int = 0) -> Optional[bool]:
+        """Prove ``node_a == node_b ^ compl`` (nodes of session networks)."""
+        sa = self._var_of[index_a][node_a]
+        sb = self._var_of[index_b][node_b]
+        return self.prove_equal(sa, -sb if compl else sb, conflict_limit)
+
+    @property
+    def last_counterexample(self) -> Optional[List[bool]]:
+        """PI assignment of the most recent refuted query."""
+        return self._cex
+
+    def stats(self) -> dict:
+        return {
+            "queries": self.queries,
+            "proved": self.proved,
+            "refuted": self.refuted,
+            "timeouts": self.timeouts,
+            "patterns": self.pool.n_patterns,
+            "solver_vars": self._solver.num_vars,
+        }

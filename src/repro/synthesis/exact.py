@@ -23,7 +23,7 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..networks.base import LogicNetwork
-from ..sat.solver import SAT, Solver
+from ..sat import SAT, new_solver
 from ..truth.npn import canonicalize, inverse_transform, apply_transform
 from ..truth.truth_table import TruthTable
 
@@ -39,7 +39,7 @@ def _solve_fixed_size(tt: TruthTable, r: int, ops: Tuple[str, ...],
                       conflict_limit: Optional[int]) -> Optional[ExactRecipe]:
     n = tt.num_vars
     rows = 1 << n
-    solver = Solver()
+    solver = new_solver()
 
     # selection vars: sel[i][(lit_a, lit_b, op)] one-hot per gate
     sel: List[Dict[Tuple[int, int, str], int]] = []

@@ -1,0 +1,222 @@
+"""Tests for the incremental equivalence session and solver differential fuzz."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import build
+from repro.networks import Aig
+from repro.networks.base import lit_not
+from repro.sat import SAT, UNSAT, EquivalenceSession, Solver, cec, solver_stats
+from repro.sim import PatternPool
+
+
+def brute_force(clauses, assumptions=()):
+    """Exhaustive CNF check over the variables actually mentioned."""
+    mv = max([abs(l) for cl in clauses for l in cl]
+             + [abs(a) for a in assumptions] + [1])
+    for bits in range(1 << mv):
+        assign = [(bits >> i) & 1 for i in range(mv)]
+        if any(assign[abs(a) - 1] != (1 if a > 0 else 0) for a in assumptions):
+            continue
+        if all(any(assign[abs(l) - 1] == (1 if l > 0 else 0) for l in cl)
+               for cl in clauses):
+            return True
+    return False
+
+
+class TestSolverDifferentialFuzz:
+    """The optimized solver vs. a brute-force enumerator on random CNFs."""
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_selector_queries(self, seed):
+        """Sequences of selector-guarded assumption queries stay sound."""
+        rng = random.Random(seed)
+        nv = rng.randint(2, 7)
+        s = Solver()
+        clauses = []
+        for _ in range(rng.randint(1, 18)):
+            cl = [rng.choice([1, -1]) * rng.randint(1, nv)
+                  for _ in range(rng.randint(1, 3))]
+            clauses.append(cl)
+            if not s.add_clause(cl):
+                assert not brute_force(clauses)
+                return
+        for _ in range(6):
+            while s.num_vars < nv:
+                s.new_var()
+            sel = s.new_var()
+            level0_conflict = False
+            for _ in range(rng.randint(1, 3)):
+                cl = [-sel] + [rng.choice([1, -1]) * rng.randint(1, nv)
+                               for _ in range(rng.randint(1, 2))]
+                clauses.append(cl)
+                if not s.add_clause(cl):
+                    level0_conflict = True
+            if level0_conflict:
+                assert not brute_force(clauses)
+                return
+            assum = [sel] + [rng.choice([1, -1]) * rng.randint(1, nv)
+                             for _ in range(rng.randint(0, 2))]
+            got = s.solve(assumptions=assum)
+            assert got == brute_force(clauses, assum)
+            if got == SAT:
+                for cl in clauses:
+                    sat_without_sel = any(
+                        s.model_value(abs(l)) == (l > 0) for l in cl)
+                    assert sat_without_sel, f"model violates {cl}"
+            clauses.append([-sel])
+            if not s.add_clause([-sel]):
+                assert not brute_force(clauses)
+                return
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_conflict_limit_budgets(self, seed):
+        """Budgeted solves return None or the brute-force verdict, and the
+        solver stays sound for later unbudgeted queries."""
+        rng = random.Random(seed)
+        nv = rng.randint(3, 8)
+        s = Solver()
+        clauses = []
+        for _ in range(rng.randint(4, 30)):
+            cl = [rng.choice([1, -1]) * rng.randint(1, nv)
+                  for _ in range(rng.randint(2, 3))]
+            clauses.append(cl)
+            if not s.add_clause(cl):
+                assert not brute_force(clauses)
+                return
+        assum = [rng.choice([1, -1]) * rng.randint(1, nv)
+                 for _ in range(rng.randint(0, 2))]
+        want = brute_force(clauses, assum)
+        got = s.solve(assumptions=assum, conflict_limit=rng.randint(0, 3))
+        assert got is None or got == want
+        # a later full solve on the same instance must still be exact
+        assert s.solve(assumptions=assum) == want
+
+    def test_stats_counters_accumulate(self):
+        before = solver_stats()
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 2])
+        s.add_clause([1, -2])
+        s.add_clause([-1, -2])
+        assert s.solve() == UNSAT
+        after = solver_stats()
+        assert after["solves"] > before["solves"]
+        assert after["conflicts"] >= before["conflicts"]
+
+
+def _random_network(seed, n_pis=5, n_gates=12):
+    rng = random.Random(seed)
+    ntk = Aig()
+    lits = [ntk.create_pi() for _ in range(n_pis)]
+    for _ in range(n_gates):
+        a = rng.choice(lits)
+        b = rng.choice(lits)
+        if rng.random() < 0.5:
+            a = lit_not(a)
+        if rng.random() < 0.5:
+            b = lit_not(b)
+        lits.append(ntk.create_and(a, b))
+    ntk.create_po(lits[-1])
+    ntk.create_po(lits[-2])
+    return ntk
+
+
+class TestEquivalenceSession:
+    def test_session_verdicts_match_exhaustive_truth(self):
+        """Session verdicts vs. ground truth for many node pairs."""
+        ntk = _random_network(3)
+        session = EquivalenceSession(ntk)
+        n = ntk.num_pis()
+        mask = (1 << (1 << n)) - 1
+        from repro.truth.truth_table import var_mask
+        pats = [var_mask(n, i) for i in range(n)]
+        truth = ntk.simulate_patterns(pats, mask)
+        gates = [g for g in ntk.gates()]
+        rng = random.Random(7)
+        for _ in range(40):
+            a, b = rng.choice(gates), rng.choice(gates)
+            compl = rng.random() < 0.5
+            want = truth[a] == (truth[b] ^ (mask if compl else 0))
+            got = session.prove_node_equal(a, b, compl)
+            assert got == want, (a, b, compl)
+
+    def test_session_matches_fresh_solver_under_budget(self):
+        """Session and fresh-session verdicts agree (None allowed only for
+        the budgeted query)."""
+        ntk = _random_network(11, n_pis=6, n_gates=20)
+        warm = EquivalenceSession(ntk)
+        gates = [g for g in ntk.gates()]
+        rng = random.Random(5)
+        queries = [(rng.choice(gates), rng.choice(gates), rng.random() < 0.5)
+                   for _ in range(25)]
+        for a, b, compl in queries:
+            warm_v = warm.prove_node_equal(a, b, compl, conflict_limit=50)
+            fresh_v = EquivalenceSession(ntk).prove_node_equal(a, b, compl)
+            assert fresh_v is not None
+            if warm_v is not None:
+                assert warm_v == fresh_v, (a, b, compl)
+
+    def test_counterexample_recycling(self):
+        """A refuted query folds a distinguishing pattern into the pool."""
+        ntk = Aig()
+        a, b = ntk.create_pi(), ntk.create_pi()
+        and_ = ntk.create_and(a, b)
+        or_ = ntk.create_or(a, b)
+        ntk.create_po(and_)
+        ntk.create_po(or_)
+        pool = PatternPool(2, n_patterns=4, seed=1)
+        session = EquivalenceSession(ntk, pool=pool)
+        n_before = pool.n_patterns
+        verdict = session.prove_node_equal(and_ >> 1, or_ >> 1, False)
+        assert verdict is False
+        assert pool.n_patterns == n_before + 1
+        cex = session.last_counterexample
+        node_vals = ntk.simulate_patterns([1 if v else 0 for v in cex], 1)
+        assert node_vals[and_ >> 1] != node_vals[or_ >> 1]
+        # the recycled pattern now distinguishes the nodes in simulation
+        sigs = session.engine(0).signatures()
+        assert sigs[and_ >> 1] != sigs[or_ >> 1]
+
+    def test_miter_session_agrees_with_cec(self):
+        ntk = build("priority", "tiny")
+        from repro.opt import balance
+        opt = balance(ntk)
+        session = EquivalenceSession(ntk)
+        ib = session.add_network(opt)
+        for la, lb in zip(session.output_literals(0), session.output_literals(ib)):
+            assert session.prove_equal(la, lb) is True
+        assert cec(ntk, opt)
+
+    def test_make_and_queries(self):
+        """resub-style auxiliary-AND queries against ground truth."""
+        ntk = Aig()
+        a, b, c = (ntk.create_pi() for _ in range(3))
+        ab = ntk.create_and(a, b)
+        abc = ntk.create_and(ab, c)
+        ntk.create_po(abc)
+        session = EquivalenceSession(ntk)
+        t = session.node_literal(abc >> 1)
+        # abc == AND(ab, c): true
+        s = session.make_and(session.network_literal(ab),
+                             session.network_literal(c))
+        assert session.prove_equal(t, s) is True
+        # abc == AND(a, b): false
+        s2 = session.make_and(session.network_literal(a),
+                              session.network_literal(b))
+        assert session.prove_equal(t, s2) is False
+
+    def test_interface_mismatch_rejected(self):
+        n1 = Aig()
+        n1.create_pi()
+        n1.create_po(n1.create_pi())
+        n2 = Aig()
+        n2.create_po(n2.create_pi())
+        session = EquivalenceSession(n1)
+        with pytest.raises(ValueError):
+            session.add_network(n2)
