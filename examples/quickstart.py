@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: build a circuit, add mixed structural choices, map it.
+"""Quickstart: build a circuit, optimize it with a flow script, map it.
 
-Reproduces the paper's Fig. 2 story end to end in a few lines: a small
+Reproduces the paper's Fig. 2 story end to end in a few lines — a small
 adder-comparator whose technology-independent optimization *hurts* the
-mapped netlist, and how the MCH operator fixes that at mapping time.
+mapped netlist, and how the MCH operator fixes that at mapping time — all
+driven through the flow API: pass sequences are scripts, and one shared
+:class:`~repro.flow.context.FlowContext` threads the engines (cut
+databases, pattern pools, the cell library) through every step.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Aig, MchParams, Xmg, asic_map, build_mch, cec, compress2rs, lut_map
+from repro import Aig, FlowContext, cec, optimize, run_flow
 from repro.circuits.wordlevel import add_words
 
 
@@ -20,22 +23,24 @@ def main() -> None:
     aig.create_po(aig.create_nary_or(add_words(aig, a, b)), "res")
     print(f"original AIG:  {aig}")
 
+    ctx = FlowContext()   # one engine context for every flow below
+
     # -- 2. traditional flow: optimize, then map ---------------------------
-    opt = compress2rs(aig)
-    netlist_trad = asic_map(opt, objective="delay")
+    opt = optimize(aig, "compress2rs", context=ctx)
+    netlist_trad = run_flow(opt, "am -o delay", context=ctx).network
     print(f"optimized AIG: {opt}")
     print(f"traditional flow:  area={netlist_trad.area():.2f} µm², "
           f"delay={netlist_trad.delay():.2f} ps")
 
     # -- 3. MCH flow: mixed choices (AIG structure + XMG candidates) -------
-    mch = build_mch(opt, MchParams(representations=(Xmg,), ratio=0.8))
-    print(f"choice network: {mch}")
-    netlist_mch = asic_map(mch, objective="delay")
+    # build the choice network once; both mappers below share its cut DB
+    choices = run_flow(opt, "mch -p xmg -r 0.8", context=ctx).network
+    netlist_mch = run_flow(choices, "am -o delay", context=ctx).network
     print(f"MCH-based flow:    area={netlist_mch.area():.2f} µm², "
           f"delay={netlist_mch.delay():.2f} ps")
 
     # -- 4. the same choices drive FPGA mapping ----------------------------
-    luts = lut_map(mch, k=6, objective="area")
+    luts = run_flow(choices, "if -k 6 -o area", context=ctx).network
     print(f"MCH 6-LUT mapping: {luts.num_luts()} LUTs, depth {luts.depth()}")
 
     # -- 5. everything is formally verified --------------------------------
@@ -43,6 +48,10 @@ def main() -> None:
     assert cec(aig, netlist_mch.to_logic_network(Aig))
     assert cec(aig, luts.to_logic_network(Aig))
     print("all results verified equivalent (CEC)")
+
+    # -- 6. every pass was timed through the shared context ----------------
+    print()
+    print(ctx.metrics_table(title="per-pass metrics (whole session)"))
 
 
 if __name__ == "__main__":

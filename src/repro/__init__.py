@@ -10,10 +10,16 @@ checking, optimization flows, benchmark generators and file I/O.
 
 Quickstart::
 
-    from repro import Aig, Xmg, build_mch, MchParams, lut_map, asic_map
+    from repro import load, run_flow, optimize, lut_map, asic_map, cec
 
-    aig = ...                                   # build or load a network
-    mch = build_mch(aig, MchParams(representations=(Xmg,)))
+    aig = load("adder")                         # benchmark name or .aag path
+    opt = optimize(aig)                         # the compress2rs flow spec
+    result = run_flow(aig, "b; rf; rs; gm -k 4; b", verify=True)
+
+    # or drive the engines directly:
+    from repro import Xmg, build_mch, MchParams
+
+    mch = build_mch(opt, MchParams(representations=(Xmg,)))
     luts = lut_map(mch, k=6, objective="area")  # choice-aware FPGA mapping
     netlist = asic_map(mch, objective="delay")  # choice-aware ASIC mapping
 """
@@ -41,12 +47,29 @@ from .mapping import (
     graph_map_iterate,
     lut_map,
 )
-from .opt import balance, compress2rs, sweep
+from .opt import balance, compress2rs, resyn2rs, sweep
 from .sat import cec
+from .circuits import load
+from .flow import (
+    Flow,
+    FlowContext,
+    FlowResult,
+    FlowRunner,
+    optimize,
+    run_flow,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # flow API
+    "load",
+    "optimize",
+    "run_flow",
+    "Flow",
+    "FlowContext",
+    "FlowRunner",
+    "FlowResult",
     "Aig",
     "Xag",
     "Mig",
@@ -71,6 +94,7 @@ __all__ = [
     "asap7_library",
     "balance",
     "compress2rs",
+    "resyn2rs",
     "sweep",
     "cec",
     "__version__",

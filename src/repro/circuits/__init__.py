@@ -1,5 +1,7 @@
 """Benchmark circuit generators (EPFL combinational suite analogues)."""
 
+from pathlib import Path
+
 from .epfl import ALL_BENCHMARKS, ARITHMETIC, CONTROL, build, suite
 from . import arithmetic, control, wordlevel
 
@@ -8,8 +10,32 @@ __all__ = [
     "ARITHMETIC",
     "CONTROL",
     "build",
+    "load",
     "suite",
     "arithmetic",
     "control",
     "wordlevel",
 ]
+
+
+def load(circuit, scale: str = "small"):
+    """Resolve a circuit spec into a network.
+
+    ``circuit`` is a benchmark name (see :data:`ALL_BENCHMARKS`), the path
+    of an ASCII AIGER file (``.aag``), or an already-built network (returned
+    unchanged).  This is the loader behind the CLI, ``repro.load`` and
+    ``FlowRunner.run_many``.
+    """
+    from ..networks.base import LogicNetwork
+
+    if isinstance(circuit, LogicNetwork):
+        return circuit
+    path = Path(circuit)
+    if path.suffix == ".aag" and path.exists():
+        from ..io import read_aag
+
+        return read_aag(path.read_text())
+    if str(circuit) in ALL_BENCHMARKS:
+        return build(str(circuit), scale)
+    raise ValueError(
+        f"unknown circuit {circuit!r} (not a benchmark name or .aag file)")

@@ -3,14 +3,24 @@
 Commands:
 
 * ``info <circuit>``                 — print benchmark statistics;
+* ``run <circuit> --script "..."``   — run an arbitrary flow script;
 * ``optimize <circuit>``             — run the compress2rs flow, report gains;
 * ``map-luts <circuit>``             — (MCH) 6-LUT mapping, optional BLIF out;
 * ``map-asic <circuit>``             — (MCH) ASIC mapping, optional Verilog out;
+* ``passes``                         — list the registered flow passes;
 * ``table1 | table2 | fig1 | fig2 | fig6`` — regenerate a paper artifact;
 * ``suite``                          — list the available benchmarks.
 
 Circuits are the EPFL-analogue generator names (see ``suite``), or a path to
-an ASCII AIGER file (``.aag``).
+an ASCII AIGER file (``.aag``).  Every command that transforms a circuit is
+a thin front-end over the flow API: it assembles a script, runs it through
+one shared :class:`~repro.flow.context.FlowContext`, and the common
+``--verify`` / ``--timing`` / ``--engine-stats`` / ``-o`` reporting works
+uniformly.  Examples::
+
+    python -m repro run adder --script "b; rf; rs; gm -k 4; b" --verify
+    python -m repro run square --flow resyn2rs --timing
+    python -m repro map-luts adder --mch --reps xmg,xag --verify --engine-stats
 """
 
 from __future__ import annotations
@@ -19,31 +29,95 @@ import argparse
 import sys
 from pathlib import Path
 
-from .circuits import ALL_BENCHMARKS, build
-from .core import MchParams, build_mch
-from .mapping import MappingSession, asic_map, lut_map
-from .networks import Aig, Mig, Xag, Xmg
-from .opt import compress2rs
-from .sat import cec
+from .circuits import ALL_BENCHMARKS, build, load
+from .flow import (
+    FlowContext,
+    FlowError,
+    FlowResult,
+    FlowRunner,
+    available_passes,
+    resolve_flow,
+    state_kind,
+    state_summary,
+)
 
-_REPS = {"aig": Aig, "xag": Xag, "mig": Mig, "xmg": Xmg}
-
-
-def _load(circuit: str, scale: str) -> Aig:
-    path = Path(circuit)
-    if path.suffix == ".aag" and path.exists():
-        from .io import read_aag
-
-        return read_aag(path.read_text())
-    if circuit in ALL_BENCHMARKS:
-        return build(circuit, scale)
-    raise SystemExit(f"unknown circuit {circuit!r} (not a benchmark name or .aag file)")
+_SCALES = ["tiny", "small", "medium"]
 
 
-def _mch_of(ntk, args):
-    reps = tuple(_REPS[r] for r in args.reps.split(","))
-    return build_mch(ntk, MchParams(representations=reps, ratio=args.ratio))
+# ---------------------------------------------------------------------- #
+# shared helpers (the once-per-command boilerplate, hoisted)               #
+# ---------------------------------------------------------------------- #
 
+def _load(circuit: str, scale: str):
+    try:
+        return load(circuit, scale)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
+def _choice_prefix(args) -> str:
+    """Script fragment building the MCH choice network, from CLI options."""
+    return f"mch -p {args.reps} -r {args.ratio}; "
+
+
+def _run_script(args, script) -> FlowResult:
+    """Load the circuit, run a script/Flow under one context, report uniformly."""
+    ntk = _load(args.circuit, args.scale)
+    ctx = FlowContext()
+    try:
+        result = FlowRunner(ctx).run(ntk, resolve_flow(script),
+                                     name=str(args.circuit))
+    except FlowError as exc:
+        raise SystemExit(f"flow failed: {exc}")
+    return result
+
+
+def _report(args, result: FlowResult) -> None:
+    """The shared verify / timing / engine-stats / output tail of a command."""
+    ctx: FlowContext = result.context
+    if getattr(args, "verify", False):
+        print("cec:", "ok" if ctx.cec(result.input, result.network) else "FAILED")
+    if getattr(args, "timing", False):
+        print(ctx.metrics_table(result.metrics))
+    if getattr(args, "engine_stats", False):
+        _print_engine_stats(ctx)
+    if getattr(args, "output", None):
+        _write_output(result.network, args.output)
+
+
+def _print_engine_stats(ctx: FlowContext) -> None:
+    import json
+
+    print("engine stats:")
+    print(json.dumps(ctx.stats(), indent=2, default=str))
+
+
+def _write_output(state, path: str) -> None:
+    """Write the final pipeline state in the format its kind implies."""
+    kind = state_kind(state)
+    if kind == "lut":
+        from .io import write_blif
+
+        text = write_blif(state)
+    elif kind == "netlist":
+        from .io import write_verilog_netlist
+
+        text = write_verilog_netlist(state)
+    else:
+        from .io import write_aag
+        from .networks import Aig, convert
+
+        ntk = state.ntk if kind == "choice" else state
+        if type(ntk) is not Aig:
+            ntk = convert(ntk, Aig)
+        text = write_aag(ntk)
+    Path(path).write_text(text)
+    print(f"wrote {path}")
+
+
+# ---------------------------------------------------------------------- #
+# commands                                                                #
+# ---------------------------------------------------------------------- #
 
 def cmd_info(args) -> int:
     from .analysis import format_stats, network_stats
@@ -63,71 +137,74 @@ def cmd_suite(args) -> int:
     return 0
 
 
-def cmd_optimize(args) -> int:
-    ntk = _load(args.circuit, args.scale)
-    opt = compress2rs(ntk, rounds=args.rounds)
-    print(f"before: {ntk.num_gates()} gates, depth {ntk.depth()}")
-    print(f"after:  {opt.num_gates()} gates, depth {opt.depth()}")
-    if args.verify:
-        print("cec:", "ok" if cec(ntk, opt) else "FAILED")
-    if args.output:
-        from .io import write_aag
-
-        Path(args.output).write_text(write_aag(opt))
-        print(f"wrote {args.output}")
+def cmd_passes(args) -> int:
+    for info in available_passes():
+        flags = " ".join(f"[-{a.flag}]" if a.type is bool
+                         else f"[-{a.flag} {a.type.__name__}]" for a in info.args)
+        aliases = f" ({', '.join(info.aliases)})" if info.aliases else ""
+        caps = f"  on: {','.join(info.inputs)}"
+        if info.needs_library:
+            caps += "  [needs library]"
+        print(f"{info.name:5s}{aliases:20s} {flags}")
+        print(f"      {info.help}{caps}")
     return 0
 
 
-def _print_engine_stats(session: MappingSession) -> None:
-    import json
+def cmd_run(args) -> int:
+    if bool(args.script) == bool(args.flow):
+        raise SystemExit("run: give exactly one of --script or --flow")
+    script = args.script or args.flow
+    result = _run_script(args, script)
+    print(f"flow:   {result.flow.to_script() or '(empty)'}")
+    print(f"input:  {state_summary(result.input)}")
+    print(f"output: {state_summary(result.network)}  "
+          f"[{len(result.metrics)} passes, {result.seconds:.3f}s]")
+    _report(args, result)
+    return 0
 
-    from .sat import solver_stats
-    from .sim import sim_stats
 
-    print("engine stats:")
-    print(json.dumps(session.stats(), indent=2, default=str))
-    print("verification stats:")
-    print(json.dumps({"solver": solver_stats(), "sim": sim_stats()}, indent=2))
+def cmd_optimize(args) -> int:
+    from .flow import compress2rs_flow
+
+    result = _run_script(args, compress2rs_flow(rounds=args.rounds))
+    ntk, opt = result.input, result.network
+    print(f"before: {ntk.num_gates()} gates, depth {ntk.depth()}")
+    print(f"after:  {opt.num_gates()} gates, depth {opt.depth()}")
+    _report(args, result)
+    return 0
 
 
 def cmd_map_luts(args) -> int:
-    ntk = _load(args.circuit, args.scale)
-    subject = _mch_of(ntk, args) if args.mch else ntk
+    prefix = _choice_prefix(args) if args.mch else ""
+    script = f"{prefix}if -k {args.k} -o {args.objective}"
+    result = _run_script(args, script)
     if args.mch:
-        print(f"choice network: {subject}")
-    session = MappingSession.of(subject)
-    lut = lut_map(session, k=args.k, objective=args.objective)
+        print(f"choice network: {_choice_state(result, 'mch')}")
+    lut = result.network
     print(f"{lut.num_luts()} LUTs, depth {lut.depth()}")
-    if args.verify:
-        print("cec:", "ok" if cec(ntk, lut.to_logic_network(Aig)) else "FAILED")
-    if args.engine_stats:
-        _print_engine_stats(session)
-    if args.output:
-        from .io import write_blif
-
-        Path(args.output).write_text(write_blif(lut))
-        print(f"wrote {args.output}")
+    _report(args, result)
     return 0
 
 
 def cmd_map_asic(args) -> int:
-    ntk = _load(args.circuit, args.scale)
-    subject = _mch_of(ntk, args) if args.mch else ntk
+    prefix = _choice_prefix(args) if args.mch else ""
+    script = f"{prefix}am -o {args.objective}"
+    result = _run_script(args, script)
     if args.mch:
-        print(f"choice network: {subject}")
-    session = MappingSession.of(subject)
-    nl = asic_map(session, objective=args.objective)
-    print(f"{nl.num_cells()} cells, area {nl.area():.2f} µm², delay {nl.delay():.2f} ps")
-    if args.verify:
-        print("cec:", "ok" if cec(ntk, nl.to_logic_network(Aig)) else "FAILED")
-    if args.engine_stats:
-        _print_engine_stats(session)
-    if args.output:
-        from .io import write_verilog_netlist
-
-        Path(args.output).write_text(write_verilog_netlist(nl))
-        print(f"wrote {args.output}")
+        print(f"choice network: {_choice_state(result, 'mch')}")
+    nl = result.network
+    print(f"{nl.num_cells()} cells, area {nl.area():.2f} µm², "
+          f"delay {nl.delay():.2f} ps")
+    _report(args, result)
     return 0
+
+
+def _choice_state(result: FlowResult, pass_name: str) -> str:
+    for m in result.metrics:
+        if m.name == pass_name:
+            return (f"{m.after[0]:.0f} gates after choices "
+                    f"(+{m.after[0] - m.before[0]:.0f} candidate gates)")
+    return "?"
 
 
 def cmd_experiment(args) -> int:
@@ -149,6 +226,10 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# parser                                                                  #
+# ---------------------------------------------------------------------- #
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Mixed Structural Choices technology mapping"
@@ -157,24 +238,36 @@ def make_parser() -> argparse.ArgumentParser:
 
     def common(p, mch_opts=True):
         p.add_argument("circuit", help="benchmark name or .aag path")
-        p.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+        p.add_argument("--scale", default="small", choices=_SCALES)
         p.add_argument("--verify", action="store_true", help="CEC the result")
         p.add_argument("-o", "--output", help="output file")
+        p.add_argument("--timing", action="store_true",
+                       help="print the per-pass timing table")
+        p.add_argument("--engine-stats", action="store_true",
+                       help="print shared-engine statistics (cut databases, "
+                            "SAT, simulation)")
         if mch_opts:
             p.add_argument("--mch", action="store_true", help="use mixed structural choices")
             p.add_argument("--reps", default="xmg", help="candidate reps, e.g. xmg,xag")
             p.add_argument("--ratio", type=float, default=1.0, help="critical-path ratio r")
-            p.add_argument("--engine-stats", action="store_true",
-                           help="print mapping-engine cut-database and cache stats")
 
     p = sub.add_parser("info", help="print circuit statistics")
     p.add_argument("circuit")
-    p.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    p.add_argument("--scale", default="small", choices=_SCALES)
     p.set_defaults(fn=cmd_info)
 
     p = sub.add_parser("suite", help="list available benchmarks")
-    p.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    p.add_argument("--scale", default="small", choices=_SCALES)
     p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("passes", help="list registered flow passes")
+    p.set_defaults(fn=cmd_passes)
+
+    p = sub.add_parser("run", help="run a flow script on a circuit")
+    common(p, mch_opts=False)
+    p.add_argument("--script", help='flow script, e.g. "b; rf; rs; gm -k 4; b"')
+    p.add_argument("--flow", help="named flow spec (compress2rs, resyn2rs)")
+    p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("optimize", help="run the compress2rs flow")
     common(p, mch_opts=False)
@@ -194,7 +287,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("artifact", choices=["fig1", "fig2", "table1", "table2", "fig6"])
-    p.add_argument("--scale", default="small", choices=["tiny", "small", "medium"])
+    p.add_argument("--scale", default="small", choices=_SCALES)
     p.add_argument("--circuits", help="comma-separated circuit subset")
     p.set_defaults(fn=cmd_experiment)
     return parser

@@ -15,11 +15,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits import build
 from ..core import MchParams, build_mch
-from ..mapping import MappingSession, asic_map, lut_map
+from ..mapping import asic_map, lut_map
 from ..networks import Aig, Xag, Xmg
-from ..opt import compress2rs
 from ..synthesis import AREA_STRATEGY, LEVEL_STRATEGY, StrategyLibrary
-from .common import format_table
+from .common import experiment_context, format_table, preoptimize
 
 __all__ = ["ratio_sweep", "merge_ablation", "representation_ablation", "strategy_ablation"]
 
@@ -27,7 +26,7 @@ __all__ = ["ratio_sweep", "merge_ablation", "representation_ablation", "strategy
 def ratio_sweep(circuit: str = "adder", scale: str = "small",
                 ratios: Sequence[float] = (0.0, 0.5, 0.85, 1.0, 1.5)) -> List[dict]:
     """MCH quality as a function of the critical-path ratio ``r``."""
-    ntk = compress2rs(build(circuit, scale), rounds=2)
+    ntk = preoptimize(build(circuit, scale), rounds=2)
     rows = []
     for r in ratios:
         mch = build_mch(ntk, MchParams(representations=(Xmg, Aig), ratio=r))
@@ -44,12 +43,13 @@ def ratio_sweep(circuit: str = "adder", scale: str = "small",
 def merge_ablation(circuit: str = "adder", scale: str = "small",
                    cut_limits: Sequence[int] = (4, 8, 12)) -> List[dict]:
     """Effect of the cut limit ``l`` and of choice-cut merging (Alg. 3)."""
-    ntk = compress2rs(build(circuit, scale), rounds=2)
+    ntk = preoptimize(build(circuit, scale), rounds=2)
     mch = build_mch(ntk, MchParams(representations=(Xmg, Aig), ratio=1.0))
     # shared sessions: the cut-limit sweep reuses processing order and fanout
     # estimates across runs (the per-limit cut databases still differ)
-    merged_session = MappingSession.of(mch)
-    plain_session = MappingSession.of(mch.ntk)
+    ctx = experiment_context()
+    merged_session = ctx.mapping_session(mch)
+    plain_session = ctx.mapping_session(mch.ntk)
     rows = []
     for l in cut_limits:
         with_merge = lut_map(merged_session, k=6, cut_limit=l, objective="area")
@@ -68,7 +68,7 @@ def merge_ablation(circuit: str = "adder", scale: str = "small",
 
 def representation_ablation(circuit: str = "adder", scale: str = "small") -> List[dict]:
     """Which candidate vocabulary drives the gains?"""
-    ntk = compress2rs(build(circuit, scale), rounds=2)
+    ntk = preoptimize(build(circuit, scale), rounds=2)
     rows = []
     for label, reps in [("AIG", (Aig,)), ("XAG", (Xag,)), ("XMG", (Xmg,)),
                         ("AIG+XMG", (Aig, Xmg)), ("AIG+XAG+XMG", (Aig, Xag, Xmg))]:
@@ -85,7 +85,7 @@ def representation_ablation(circuit: str = "adder", scale: str = "small") -> Lis
 
 def strategy_ablation(circuit: str = "adder", scale: str = "small") -> List[dict]:
     """Level-only vs area-only vs the full multi-strategy library."""
-    ntk = compress2rs(build(circuit, scale), rounds=2)
+    ntk = preoptimize(build(circuit, scale), rounds=2)
     variants = {
         "level-only": StrategyLibrary(level=LEVEL_STRATEGY, area=LEVEL_STRATEGY),
         "area-only": StrategyLibrary(level=AREA_STRATEGY, area=AREA_STRATEGY),

@@ -14,8 +14,7 @@ from typing import Dict, Optional, Sequence, Type
 from ..circuits import build
 from ..mapping import asic_map, graph_map
 from ..networks import Aig, LogicNetwork, Mig, Xag, Xmg
-from ..opt import compress2rs
-from .common import format_table
+from .common import format_table, preoptimize
 
 __all__ = ["REPRESENTATIONS", "run_fig1", "format_fig1"]
 
@@ -41,7 +40,7 @@ class Fig1Row:
 def run_fig1(circuit: str = "max", scale: str = "small",
              reps: Optional[Sequence[str]] = None) -> Dict[str, Fig1Row]:
     """Map one circuit from each representation; returns rep -> row."""
-    ntk = compress2rs(build(circuit, scale), rounds=2)
+    ntk = preoptimize(build(circuit, scale), rounds=2)
     out: Dict[str, Fig1Row] = {}
     for rep_name in (reps or REPRESENTATIONS):
         cls = REPRESENTATIONS[rep_name]

@@ -21,8 +21,7 @@ from ..circuits.wordlevel import add_words
 from ..core import MchParams, build_dch, build_mch
 from ..mapping import asic_map
 from ..networks import Aig, Mig, Xmg
-from ..opt import compress2rs
-from .common import format_table
+from .common import format_table, preoptimize
 
 __all__ = ["demo_circuit", "run_fig2", "format_fig2"]
 
@@ -53,7 +52,7 @@ def run_fig2() -> Dict[str, Fig2Row]:
     nl = asic_map(ntk, objective="delay")
     out["original"] = Fig2Row("original", ntk.num_gates(), 0, nl.area(), nl.delay())
 
-    opt = compress2rs(ntk, rounds=2)
+    opt = preoptimize(ntk, rounds=2)
     nl = asic_map(opt, objective="delay")
     out["optimized"] = Fig2Row("optimized (traditional)", opt.num_gates(), 0,
                                nl.area(), nl.delay())

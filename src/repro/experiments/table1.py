@@ -26,10 +26,16 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..circuits import ALL_BENCHMARKS, build
 from ..core import MchParams, build_dch, build_mch
-from ..mapping import MappingSession, asic_map, graph_map
+from ..mapping import asic_map, graph_map
 from ..networks import Aig, Xag, Xmg
-from ..opt import compress2rs
-from .common import Timer, format_table, geomean, improvement
+from .common import (
+    Timer,
+    experiment_context,
+    format_table,
+    geomean,
+    improvement,
+    preoptimize,
+)
 
 __all__ = ["CONFIG_ORDER", "run_circuit", "run_table1", "summarize", "format_results"]
 
@@ -44,11 +50,16 @@ class MappingResultRow:
 
 
 def run_circuit(ntk: Aig, configs: Optional[Sequence[str]] = None,
-                opt_rounds: int = 2) -> Dict[str, MappingResultRow]:
-    """Run the Table-I configurations on one circuit; returns config -> row."""
+                opt_rounds: int = 2, context=None) -> Dict[str, MappingResultRow]:
+    """Run the Table-I configurations on one circuit; returns config -> row.
+
+    ``context`` threads one shared :class:`~repro.flow.context.FlowContext`
+    (engines, caches) through the pre-optimization and the choice builds.
+    """
     configs = list(configs or CONFIG_ORDER)
+    ctx = context if context is not None else experiment_context()
     out: Dict[str, MappingResultRow] = {}
-    opt = compress2rs(ntk, rounds=opt_rounds)
+    opt = preoptimize(ntk, rounds=opt_rounds, context=ctx)
 
     if "baseline" in configs:
         with Timer() as t:
@@ -57,13 +68,13 @@ def run_circuit(ntk: Aig, configs: Optional[Sequence[str]] = None,
 
     if "dch" in configs or "dch_area" in configs:
         with Timer() as t_build:
-            snapshots = [opt, compress2rs(opt, rounds=2), ntk]
+            snapshots = [opt, preoptimize(opt, rounds=2, context=ctx), ntk]
             dch = build_dch(snapshots, sat_verify=True)
             # One session: the delay- and area-oriented runs share the cut
             # database.  Prebuild it here (k=4 matches the ASIC mapper's pin
             # bound) so both configs' mapping times stay comparable — the
             # shared enumeration is charged to the shared build time.
-            session = MappingSession.of(dch)
+            session = ctx.mapping_session(dch)
             session.cut_database(4, 8)
         if "dch" in configs:
             with Timer() as t:
@@ -102,9 +113,10 @@ def run_table1(names: Optional[Sequence[str]] = None, scale: str = "small",
     """Run Table I over the suite; returns circuit -> config -> row."""
     names = list(names or ALL_BENCHMARKS)
     results: Dict[str, Dict[str, MappingResultRow]] = {}
+    ctx = experiment_context()   # one engine context across the whole table
     for name in names:
         results[name] = run_circuit(build(name, scale), configs=configs,
-                                    opt_rounds=opt_rounds)
+                                    opt_rounds=opt_rounds, context=ctx)
     return results
 
 

@@ -21,8 +21,7 @@ from ..circuits import build
 from ..core import MchParams, build_mch
 from ..mapping import graph_map_iterate, lut_map
 from ..networks import Aig, Xmg
-from ..opt import compress2rs
-from .common import format_table
+from .common import format_table, preoptimize
 
 __all__ = ["DEFAULT_CIRCUITS", "run_table2", "format_table2"]
 
@@ -45,7 +44,7 @@ def run_table2(names: Optional[Sequence[str]] = None, scale: str = "small",
     for name in names or DEFAULT_CIRCUITS:
         ntk = build(name, scale)
         # our stand-in for the published record: optimize hard, then area-map
-        optimized = graph_map_iterate(compress2rs(ntk, rounds=2), Xmg,
+        optimized = graph_map_iterate(preoptimize(ntk, rounds=2), Xmg,
                                       objective="area", max_rounds=4)
         best = lut_map(optimized, k=k, objective="area")
 

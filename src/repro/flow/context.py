@@ -1,0 +1,285 @@
+"""FlowContext — one bundle of shared engines threaded through a whole flow.
+
+A context owns every expensive, reusable piece of machinery the passes
+need, created once and shared end-to-end:
+
+* :class:`~repro.mapping.engine.MappingSession`\\ s (and through them the
+  flat cut databases) for every subject the flow maps;
+* one :class:`~repro.sim.engine.PatternPool` per PI width, so SAT
+  counterexamples recycled by one pass sharpen the simulation filtering of
+  every later pass;
+* :class:`~repro.sat.session.EquivalenceSession`\\ s, cached per network
+  snapshot and built over the shared pool;
+* per-target-representation :class:`~repro.synthesis.npn_db.NpnCostCache`\\ s
+  for graph mapping;
+* the standard-cell library (lazily ASAP7).
+
+It also records per-pass :class:`PassMetrics` (wall time plus gate / depth /
+area deltas), optional named checkpoints, and aggregates engine statistics
+for ``--engine-stats`` style reporting.  Pass wrappers must obtain their
+engines from the context — no pass-construction site outside ``flow/``
+builds a ``MappingSession`` or ``EquivalenceSession`` of its own when run
+under a context.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["FlowContext", "PassMetrics", "state_kind", "state_cost", "state_summary"]
+
+
+# ---------------------------------------------------------------------- #
+# pipeline-state helpers                                                  #
+# ---------------------------------------------------------------------- #
+
+def state_kind(state) -> str:
+    """Kind of a pipeline state: 'logic', 'choice', 'lut' or 'netlist'."""
+    from ..core.choice import ChoiceNetwork
+    from ..networks.lut_network import LutNetwork
+    from ..networks.netlist import CellNetlist
+
+    if isinstance(state, ChoiceNetwork):
+        return "choice"
+    if isinstance(state, LutNetwork):
+        return "lut"
+    if isinstance(state, CellNetlist):
+        return "netlist"
+    return "logic"
+
+
+def state_cost(state) -> Tuple[float, float]:
+    """Comparable (size, depth) cost of any pipeline state.
+
+    Logic networks score ``(gates, depth)`` — the exact tuple the legacy
+    keep-best flows compared — LUT networks ``(LUTs, depth)``, cell
+    netlists ``(area, delay)``; choice networks score their underlying
+    network.
+    """
+    kind = state_kind(state)
+    if kind == "choice":
+        return state_cost(state.ntk)
+    if kind == "lut":
+        return (state.num_luts(), state.depth())
+    if kind == "netlist":
+        return (state.area(), state.delay())
+    return (state.num_gates(), state.depth())
+
+
+def state_summary(state) -> str:
+    """One-line human description of a pipeline state."""
+    kind = state_kind(state)
+    if kind == "choice":
+        return (f"{type(state.ntk).__name__} + {state.num_choices()} choices, "
+                f"{state.ntk.num_gates()} gates, depth {state.ntk.depth()}")
+    if kind == "lut":
+        return f"{state.num_luts()} LUTs, depth {state.depth()}"
+    if kind == "netlist":
+        return (f"{state.num_cells()} cells, area {state.area():.2f} µm², "
+                f"delay {state.delay():.2f} ps")
+    return f"{type(state).__name__}: {state.num_gates()} gates, depth {state.depth()}"
+
+
+# ---------------------------------------------------------------------- #
+# metrics                                                                 #
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class PassMetrics:
+    """Timing and cost delta of one executed pass."""
+
+    name: str
+    script: str                 # canonical invocation, e.g. "gm -k 4"
+    seconds: float
+    before: Tuple[float, float]
+    after: Tuple[float, float]
+    kind_before: str = "logic"
+    kind_after: str = "logic"
+
+    @property
+    def size_delta(self) -> float:
+        return self.after[0] - self.before[0]
+
+    @property
+    def depth_delta(self) -> float:
+        return self.after[1] - self.before[1]
+
+    def row(self) -> List:
+        """Table row: pass, seconds, size before/after, depth before/after."""
+        fmt = lambda v: int(v) if float(v).is_integer() else round(v, 2)
+        return [self.script, round(self.seconds, 3),
+                fmt(self.before[0]), fmt(self.after[0]),
+                fmt(self.before[1]), fmt(self.after[1])]
+
+
+METRICS_HEADERS = ["pass", "seconds", "size.in", "size.out", "depth.in", "depth.out"]
+
+
+# ---------------------------------------------------------------------- #
+# the context                                                             #
+# ---------------------------------------------------------------------- #
+
+class FlowContext:
+    """Shared engine state for one flow run (or many, in batch mode)."""
+
+    #: bound on cached equivalence sessions (one Tseitin encoding each)
+    EQ_SESSION_LIMIT = 8
+
+    def __init__(self, *, library=None, n_patterns: int = 256, seed: int = 1,
+                 keep_checkpoints: bool = False):
+        self._library = library
+        self.n_patterns = n_patterns
+        self.seed = seed
+        self.keep_checkpoints = keep_checkpoints
+        self.original = None                  # set by the runner per circuit
+        self.metrics: List[PassMetrics] = []
+        self.checkpoints: Dict[str, Any] = {}
+        self._pools: Dict[int, Any] = {}      # n_pis -> PatternPool
+        self._eq_sessions: "OrderedDict[Tuple[int, int], Any]" = OrderedDict()
+        self._eq_keepalive: Dict[int, Any] = {}
+        self._npn_caches: Dict[type, Any] = {}
+        self._mapping_subjects: List[Any] = []   # subjects seen (for stats)
+
+    # -- shared engines ------------------------------------------------------
+
+    @property
+    def library(self):
+        """The standard-cell library (lazily the bundled ASAP7 analogue)."""
+        if self._library is None:
+            from ..mapping.asap7 import asap7_library
+
+            self._library = asap7_library()
+        return self._library
+
+    def pool_for(self, ntk):
+        """The shared :class:`PatternPool` matching ``ntk``'s PI count."""
+        from ..sim.engine import PatternPool
+
+        n_pis = ntk.num_pis()
+        pool = self._pools.get(n_pis)
+        if pool is None:
+            pool = PatternPool(n_pis, n_patterns=self.n_patterns, seed=self.seed)
+            self._pools[n_pis] = pool
+        return pool
+
+    def mapping_session(self, subject):
+        """The :class:`MappingSession` of ``subject`` (cached on the subject)."""
+        from ..mapping.engine import MappingSession
+
+        session = MappingSession.of(subject)
+        if not any(s is session for s in self._mapping_subjects):
+            self._mapping_subjects.append(session)
+            if len(self._mapping_subjects) > 16:
+                del self._mapping_subjects[0]
+        return session
+
+    def equivalence_session(self, ntk):
+        """An :class:`EquivalenceSession` of ``ntk`` over the shared pool.
+
+        Cached per network snapshot (object identity + structural version)
+        so repeated queries against one network reuse the Tseitin encoding.
+        """
+        from ..sat.session import EquivalenceSession
+
+        key = (id(ntk), ntk.version)
+        session = self._eq_sessions.get(key)
+        if session is None:
+            session = EquivalenceSession(ntk, pool=self.pool_for(ntk))
+            self._eq_sessions[key] = session
+            self._eq_keepalive[id(ntk)] = ntk   # pin: ids must not be recycled
+            while len(self._eq_sessions) > self.EQ_SESSION_LIMIT:
+                old_key, _ = self._eq_sessions.popitem(last=False)
+                if not any(k[0] == old_key[0] for k in self._eq_sessions):
+                    self._eq_keepalive.pop(old_key[0], None)
+        else:
+            self._eq_sessions.move_to_end(key)
+        return session
+
+    def npn_cache(self, target_cls: type):
+        """The per-representation synthesis cost oracle for graph mapping."""
+        from ..synthesis.npn_db import NpnCostCache
+
+        cache = self._npn_caches.get(target_cls)
+        if cache is None:
+            cache = NpnCostCache(target_cls)
+            self._npn_caches[target_cls] = cache
+        return cache
+
+    def cec(self, a, b, sim_limit: int = 12):
+        """Equivalence-check two states through the shared engines.
+
+        When ``a`` is a plain logic network needing a SAT miter (PI count
+        above the exhaustive-simulation limit), its cached
+        :class:`EquivalenceSession` is reused — repeated checks against one
+        reference (``b; cec; rf; cec``) encode the reference once and keep
+        its learned clauses.
+        """
+        from ..sat.cec import cec as run_cec
+
+        na, nb = self.as_logic(a), self.as_logic(b)
+        if na.num_pis() != nb.num_pis():
+            return run_cec(na, nb)
+        if na is not a or na.num_pis() <= sim_limit:
+            # converted view (fresh object, would only pollute the cache)
+            # or exhaustive-simulation territory: no session needed
+            return run_cec(na, nb, sim_limit=sim_limit, pool=self.pool_for(na))
+        session = self.equivalence_session(na)
+        if len(session.networks) > self.EQ_SESSION_LIMIT:
+            # the reference has been checked against many distinct networks
+            # already — cap the shared encoding's growth, miter standalone
+            return run_cec(na, nb, sim_limit=sim_limit, pool=self.pool_for(na))
+        return run_cec(na, nb, sim_limit=sim_limit, session=session)
+
+    @staticmethod
+    def as_logic(state):
+        """View any pipeline state as a plain logic network (for CEC)."""
+        from ..networks.aig import Aig
+
+        kind = state_kind(state)
+        if kind == "choice":
+            return state.ntk
+        if kind in ("lut", "netlist"):
+            return state.to_logic_network(Aig)
+        return state
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def record(self, metrics: PassMetrics) -> None:
+        self.metrics.append(metrics)
+
+    def checkpoint(self, name: str, state) -> None:
+        self.checkpoints[name] = state
+
+    def total_seconds(self) -> float:
+        return sum(m.seconds for m in self.metrics)
+
+    def metrics_table(self, metrics: Optional[List[PassMetrics]] = None,
+                      title: str = "per-pass metrics") -> str:
+        """Aligned per-pass timing / delta table (for ``--timing``)."""
+        from ..experiments.common import format_table
+
+        rows = [m.row() for m in (metrics if metrics is not None else self.metrics)]
+        return format_table(METRICS_HEADERS, rows, title=title)
+
+    def stats(self) -> dict:
+        """Aggregate engine statistics across everything this context ran."""
+        from ..sat import solver_stats
+        from ..sim import sim_stats
+
+        out: dict = {
+            "passes": len(self.metrics),
+            "seconds": round(self.total_seconds(), 6),
+            "pools": {n: p.n_patterns for n, p in self._pools.items()},
+            "equivalence_sessions": [s.stats() for s in self._eq_sessions.values()],
+            "mapping_sessions": [s.stats() for s in self._mapping_subjects],
+            "solver": solver_stats(),
+            "sim": sim_stats(),
+        }
+        return out
+
+    def __repr__(self) -> str:
+        return (f"<FlowContext passes={len(self.metrics)} "
+                f"pools={list(self._pools)} "
+                f"eq_sessions={len(self._eq_sessions)}>")

@@ -1,30 +1,30 @@
 """Scripted optimization flows (the ``compress2rs`` analogue).
 
 The paper uses ABC's ``compress2rs`` to "simulate the logic optimization
-process" before mapping.  Our equivalent composes the passes this library
-implements — tree balancing, functional sweep, and cut-based area
-resynthesis (area-oriented graph remapping, the modern form of
-rewrite/refactor) — and iterates until the gate count converges.  The goal
-is identical to the paper's: produce a competitively optimized,
-structurally *biased* subject graph for the mapping experiments.
+process" before mapping.  These entry points are kept for compatibility and
+convenience, but since the flow API landed they are thin wrappers over the
+canonical flow specs in :mod:`repro.flow.specs` — the pass sequence is data
+(``converge4( b; gm -o area -k 4; b )``), executed by the
+:class:`~repro.flow.runner.FlowRunner` with a shared engine context, and
+produces results identical to the old hardcoded loops.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Type
+from typing import List, Optional, Type, Union
 
-from ..networks.aig import Aig
 from ..networks.base import LogicNetwork
-from .balancing import balance
-from .sweep import sweep
 
 __all__ = ["compress2rs", "resyn2rs", "optimize_rounds"]
 
 
-def _area_resynth(ntk: LogicNetwork, cls: Type[LogicNetwork], k: int = 4):
-    from ..mapping.graph_mapper import graph_map
+def _convert_to(ntk: LogicNetwork, cls: Optional[Type[LogicNetwork]]) -> LogicNetwork:
+    cls = cls or type(ntk)
+    if cls is not type(ntk):
+        from ..networks.convert import convert
 
-    return graph_map(ntk, cls, objective="area", k=k)
+        return convert(ntk, cls)
+    return ntk
 
 
 def compress2rs(ntk: LogicNetwork, rounds: int = 4, sat_sweep: bool = False,
@@ -35,27 +35,14 @@ def compress2rs(ntk: LogicNetwork, rounds: int = 4, sat_sweep: bool = False,
     sweep is appended when ``sat_sweep`` is set (slower, catches redundancy
     that structural passes miss).  Stops early when gate count stops
     improving, mirroring how compress2rs is iterated in the paper's Table I
-    protocol.
+    protocol.  Equivalent to running the ``compress2rs`` flow spec.
     """
-    cls = cls or type(ntk)
-    if cls is not type(ntk):
-        from ..networks.convert import convert
+    from ..flow.runner import FlowRunner
+    from ..flow.specs import compress2rs_flow
 
-        ntk = convert(ntk, cls)
-    best = ntk
-    best_cost = (ntk.num_gates(), ntk.depth())
-    current = ntk
-    for _ in range(rounds):
-        current = balance(current)
-        current = _area_resynth(current, cls, k=4)
-        current = balance(current)
-        if sat_sweep:
-            current = sweep(current)
-        cost = (current.num_gates(), current.depth())
-        if cost >= best_cost:
-            break
-        best, best_cost = current, cost
-    return best
+    return FlowRunner().run(
+        _convert_to(ntk, cls), compress2rs_flow(rounds=rounds, sat_sweep=sat_sweep)
+    ).network
 
 
 def resyn2rs(ntk: LogicNetwork, rounds: int = 3,
@@ -63,47 +50,46 @@ def resyn2rs(ntk: LogicNetwork, rounds: int = 3,
     """Deeper flow: balance, MFFC refactoring, SAT resubstitution, remap.
 
     Slower than :func:`compress2rs` but catches redundancy the structural
-    passes miss; the analogue of ABC's ``resyn2rs`` script.
+    passes miss; the analogue of ABC's ``resyn2rs`` script.  Equivalent to
+    running the ``resyn2rs`` flow spec.
     """
-    from .refactoring import refactor
-    from .resub import resub
+    from ..flow.runner import FlowRunner
+    from ..flow.specs import resyn2rs_flow
 
-    cls = cls or type(ntk)
-    if cls is not type(ntk):
-        from ..networks.convert import convert
-
-        ntk = convert(ntk, cls)
-    best = ntk
-    best_cost = (ntk.num_gates(), ntk.depth())
-    current = ntk
-    for _ in range(rounds):
-        current = balance(current)
-        current = refactor(current)
-        current = resub(current)
-        current = _area_resynth(current, cls, k=4)
-        current = balance(current)
-        cost = (current.num_gates(), current.depth())
-        if cost >= best_cost:
-            break
-        best, best_cost = current, cost
-    return best
+    return FlowRunner().run(
+        _convert_to(ntk, cls), resyn2rs_flow(rounds=rounds)).network
 
 
-def optimize_rounds(ntk: LogicNetwork, script: str = "compress2rs", rounds: int = 2) -> list:
+def optimize_rounds(ntk: LogicNetwork, script: Union[str, "object"] = "compress2rs",
+                    rounds: int = 2, inner_rounds: int = 2,
+                    context=None) -> List[LogicNetwork]:
     """Produce successive optimization snapshots (for DCH choice building).
 
     Returns ``[ntk, opt1(ntk), opt2(opt1), ...]`` with ``rounds`` optimized
-    snapshots appended after the original.
+    snapshots appended after the original.  ``script`` is the name of a
+    canonical flow spec (``"compress2rs"`` / ``"resyn2rs"`` — parameterized
+    by ``inner_rounds``), arbitrary flow-script text validated against the
+    pass registry (``"b; rs; b"``), or a :class:`~repro.flow.script.Flow`.
+    A caller-supplied ``context`` threads one shared
+    :class:`~repro.flow.context.FlowContext` through every snapshot run.
     """
-    if script == "compress2rs":
-        step = lambda n: compress2rs(n, rounds=2)
-    elif script == "resyn2rs":
-        step = lambda n: resyn2rs(n, rounds=2)
+    from ..flow.runner import FlowRunner
+    from ..flow.script import Flow
+    from ..flow.specs import NAMED_FLOWS, named_flow
+
+    if isinstance(script, Flow):
+        flow = script
+    elif script in NAMED_FLOWS:
+        flow = named_flow(script, rounds=inner_rounds)
+    elif isinstance(script, str):
+        flow = Flow.parse(script)   # raises FlowScriptError on unknown passes
     else:
         raise ValueError(f"unknown script {script!r}")
+
+    runner = FlowRunner(context)
     out = [ntk]
     cur = ntk
     for _ in range(rounds):
-        cur = step(cur)
+        cur = runner.run(cur, flow).network
         out.append(cur)
     return out

@@ -21,28 +21,37 @@ from typing import Dict, List, Tuple
 
 from ..networks.base import GateType, LogicNetwork
 from ..sat.session import EquivalenceSession
-from ..sim.engine import PatternPool, SimEngine
+from ..sim.engine import PatternPool
 
 __all__ = ["resub"]
 
 
 def resub(ntk: LogicNetwork, width: int = 256, seed: int = 17,
           max_divisors: int = 150, conflict_limit: int = 1000,
-          max_checks: int = 2000) -> LogicNetwork:
+          max_checks: int = 2000,
+          session: "EquivalenceSession" = None) -> LogicNetwork:
     """One pass of SAT-validated 1-resubstitution; returns a rebuilt network.
 
     Only AND-family nodes are targeted (the pass is a no-op on pure
     MIG networks).  ``max_divisors`` bounds the candidate window per node,
-    ``max_checks`` bounds the total number of SAT calls.
+    ``max_checks`` bounds the total number of SAT calls.  A caller-supplied
+    ``session`` (e.g. from a :class:`~repro.flow.context.FlowContext`) must
+    encode ``ntk``; its pattern pool — including counterexamples recycled by
+    earlier passes — then drives the signature filtering here.
     """
-    pool = PatternPool(ntk.num_pis(), n_patterns=width, seed=seed)
-    engine = SimEngine(ntk, pool)
+    if session is None:
+        pool = PatternPool(ntk.num_pis(), n_patterns=width, seed=seed)
+        session = EquivalenceSession(ntk, pool=pool)
+    else:
+        if session.networks[0] is not ntk:
+            raise ValueError("injected session must encode the resub subject")
+        pool = session.pool
+    engine = session.engine(0)
     sigs = engine.signatures()
     mask = pool.mask
     levels = ntk.levels()
     fanout = ntk.fanout_counts()
 
-    session = EquivalenceSession(ntk, pool=pool)
     checks = [0]
 
     def sat_equal(target: int, lit_a: int, lit_b: int, compl: bool) -> bool:

@@ -90,8 +90,16 @@ def find_counterexample(a: LogicNetwork, b: LogicNetwork, rounds: int = 64,
 
 
 def cec(a: LogicNetwork, b: LogicNetwork, sim_limit: int = 12,
-        sim_rounds: int = 16, pool: Optional[PatternPool] = None) -> CecResult:
-    """Check combinational equivalence of two networks (PO-by-PO, in order)."""
+        sim_rounds: int = 16, pool: Optional[PatternPool] = None,
+        session: Optional[EquivalenceSession] = None) -> CecResult:
+    """Check combinational equivalence of two networks (PO-by-PO, in order).
+
+    A caller-supplied ``session`` (one that already Tseitin-encodes ``a`` as
+    its first network, e.g. the cached session of a
+    :class:`~repro.flow.context.FlowContext`) is reused: only ``b`` is
+    encoded, over the shared PI variables, and clauses learned by earlier
+    checks against the same reference carry over.
+    """
     _interface_check(a, b)
 
     if a.num_pis() <= sim_limit:
@@ -105,14 +113,21 @@ def cec(a: LogicNetwork, b: LogicNetwork, sim_limit: int = 12,
                 return CecResult(False, cex, "exhaustive simulation")
         return CecResult(True, method="exhaustive simulation")
 
-    if pool is None:
+    if session is not None:
+        if session.networks[0] is not a:
+            raise ValueError("injected session must encode the reference network")
+        pool = session.pool
+    elif pool is None:
         pool = PatternPool(a.num_pis(), n_patterns=sim_rounds * 64, seed=1)
     cex = _sim_counterexample(SimEngine(a, pool), SimEngine(b, pool), pool)
     if cex is not None:
         return CecResult(False, cex, "random simulation")
 
-    session = EquivalenceSession(a, pool=pool)
-    ib = session.add_network(b)
+    if session is None:
+        session = EquivalenceSession(a, pool=pool)
+    ib = next((i for i, n in enumerate(session.networks) if n is b), None)
+    if ib is None:   # not already encoded (e.g. a cec pass then --verify)
+        ib = session.add_network(b)
 
     # SAT miter over shared PIs, one incremental query per PO pair
     po_a = session.output_literals(0)

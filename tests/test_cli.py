@@ -79,3 +79,55 @@ class TestCommands:
         path.write_text(write_aag(build("ctrl", "tiny")))
         assert main(["info", str(path)]) == 0
         assert "gates" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_script_with_verify(self, capsys):
+        assert main(["run", "adder", "--scale", "tiny",
+                     "--script", "b; rf; rs; gm -k 4; b", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "input:" in out and "output:" in out and "cec: ok" in out
+
+    def test_run_named_flow_with_timing(self, capsys):
+        assert main(["run", "ctrl", "--scale", "tiny",
+                     "--flow", "compress2rs", "--timing"]) == 0
+        out = capsys.readouterr().out
+        assert "per-pass metrics" in out and "gm" in out
+
+    def test_run_mapping_script_writes_blif(self, capsys, tmp_path):
+        out_file = tmp_path / "out.blif"
+        assert main(["run", "int2float", "--scale", "tiny",
+                     "--script", "b; if -k 4", "-o", str(out_file)]) == 0
+        assert out_file.read_text().startswith(".model")
+
+    def test_run_requires_exactly_one_flow_source(self):
+        with pytest.raises(SystemExit):
+            main(["run", "adder", "--scale", "tiny"])
+        with pytest.raises(SystemExit):
+            main(["run", "adder", "--scale", "tiny",
+                  "--script", "b", "--flow", "compress2rs"])
+
+    def test_run_bad_script_exits_with_message(self, capsys):
+        with pytest.raises(SystemExit, match="unknown pass"):
+            main(["run", "adder", "--scale", "tiny", "--script", "warp 9"])
+
+    def test_run_engine_stats(self, capsys):
+        assert main(["run", "ctrl", "--scale", "tiny",
+                     "--script", "b; gm", "--engine-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats" in out and "solver" in out
+
+    def test_passes_command_lists_registry(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        assert "gm" in out and "balance" in out
+
+    def test_optimize_timing_flag(self, capsys):
+        assert main(["optimize", "ctrl", "--scale", "tiny", "--timing"]) == 0
+        assert "per-pass metrics" in capsys.readouterr().out
+
+    def test_map_asic_engine_stats(self, capsys):
+        assert main(["map-asic", "ctrl", "--scale", "tiny",
+                     "--engine-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cells" in out and "engine stats" in out
