@@ -8,7 +8,7 @@
 
 import pytest
 
-from conftest import SCALE, write_result
+from conftest import JOBS, SCALE, write_result
 from repro.experiments import (
     format_table,
     merge_ablation,
@@ -26,7 +26,8 @@ def _rows_to_table(rows, title):
 @pytest.mark.benchmark(group="ablation")
 def test_ratio_sweep(benchmark):
     rows = benchmark.pedantic(
-        ratio_sweep, kwargs=dict(circuit="adder", scale=SCALE), rounds=1, iterations=1
+        ratio_sweep, kwargs=dict(circuit="adder", scale=SCALE, jobs=JOBS),
+        rounds=1, iterations=1
     )
     write_result("ablation_ratio", _rows_to_table(rows, "A1 — critical-path ratio sweep (adder)"))
     # wider critical region (smaller r) must not reduce the candidate count
@@ -37,7 +38,8 @@ def test_ratio_sweep(benchmark):
 @pytest.mark.benchmark(group="ablation")
 def test_choice_merge_ablation(benchmark):
     rows = benchmark.pedantic(
-        merge_ablation, kwargs=dict(circuit="adder", scale=SCALE), rounds=1, iterations=1
+        merge_ablation, kwargs=dict(circuit="adder", scale=SCALE, jobs=JOBS),
+        rounds=1, iterations=1
     )
     write_result("ablation_merge", _rows_to_table(rows, "A2 — Algorithm 3 cut merging on/off"))
     # with merging the mapper must never do worse than without on depth
@@ -48,7 +50,7 @@ def test_choice_merge_ablation(benchmark):
 @pytest.mark.benchmark(group="ablation")
 def test_representation_ablation(benchmark):
     rows = benchmark.pedantic(
-        representation_ablation, kwargs=dict(circuit="adder", scale=SCALE),
+        representation_ablation, kwargs=dict(circuit="adder", scale=SCALE, jobs=JOBS),
         rounds=1, iterations=1
     )
     write_result("ablation_reps", _rows_to_table(rows, "A1 — candidate representation sets (adder)"))
@@ -60,7 +62,8 @@ def test_representation_ablation(benchmark):
 @pytest.mark.benchmark(group="ablation")
 def test_strategy_ablation(benchmark):
     rows = benchmark.pedantic(
-        strategy_ablation, kwargs=dict(circuit="adder", scale=SCALE), rounds=1, iterations=1
+        strategy_ablation, kwargs=dict(circuit="adder", scale=SCALE, jobs=JOBS),
+        rounds=1, iterations=1
     )
     write_result("ablation_strategies", _rows_to_table(rows, "A1 — strategy library composition (adder)"))
     assert len(rows) == 3

@@ -9,14 +9,15 @@ across the suite of representations.
 
 import pytest
 
-from conftest import SCALE, write_result
+from conftest import JOBS, SCALE, write_result
 from repro.experiments import format_fig1, run_fig1
 
 
 @pytest.mark.benchmark(group="fig1")
 def test_fig1_representations(benchmark):
     rows = benchmark.pedantic(
-        run_fig1, kwargs=dict(circuit="max", scale=SCALE), rounds=1, iterations=1
+        run_fig1, kwargs=dict(circuit="max", scale=SCALE, jobs=JOBS),
+        rounds=1, iterations=1
     )
     write_result("fig1_representations", format_fig1(rows, "max"))
 
@@ -31,7 +32,8 @@ def test_fig1_representations(benchmark):
 @pytest.mark.benchmark(group="fig1")
 def test_fig1_second_circuit(benchmark):
     rows = benchmark.pedantic(
-        run_fig1, kwargs=dict(circuit="adder", scale=SCALE), rounds=1, iterations=1
+        run_fig1, kwargs=dict(circuit="adder", scale=SCALE, jobs=JOBS),
+        rounds=1, iterations=1
     )
     write_result("fig1_adder", format_fig1(rows, "adder"))
     # XOR-capable representations express the adder with fewer gates

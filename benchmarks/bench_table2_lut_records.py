@@ -8,7 +8,7 @@ by 1-3 LUTs) and tends to improve levels.
 
 import pytest
 
-from conftest import SCALE, selected_circuits, write_result
+from conftest import JOBS, SCALE, selected_circuits, write_result
 from repro.experiments import format_table2, run_table2
 from repro.experiments.table2 import DEFAULT_CIRCUITS
 
@@ -18,7 +18,8 @@ CIRCUITS = selected_circuits(DEFAULT_CIRCUITS)
 @pytest.mark.benchmark(group="table2")
 def test_table2_lut_records(benchmark):
     rows = benchmark.pedantic(
-        run_table2, kwargs=dict(names=CIRCUITS, scale=SCALE), rounds=1, iterations=1
+        run_table2, kwargs=dict(names=CIRCUITS, scale=SCALE, jobs=JOBS),
+        rounds=1, iterations=1
     )
     write_result("table2_lut_records", format_table2(rows))
 

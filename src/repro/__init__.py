@@ -22,6 +22,12 @@ Quickstart::
     mch = build_mch(opt, MchParams(representations=(Xmg,)))
     luts = lut_map(mch, k=6, objective="area")  # choice-aware FPGA mapping
     netlist = asic_map(mch, objective="delay")  # choice-aware ASIC mapping
+
+    # whole-suite execution across worker processes, with result tracking:
+    from repro import BatchRunner, get_suite
+
+    batch = BatchRunner(jobs=4).run(get_suite("epfl-arithmetic"),
+                                    "compress2rs", store="results.jsonl")
 """
 
 from .networks import (
@@ -58,8 +64,16 @@ from .flow import (
     optimize,
     run_flow,
 )
+from .batch import (
+    BatchResult,
+    BatchRunner,
+    ResultStore,
+    Suite,
+    available_suites,
+    get_suite,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # flow API
@@ -70,6 +84,13 @@ __all__ = [
     "FlowContext",
     "FlowRunner",
     "FlowResult",
+    # batch API
+    "Suite",
+    "available_suites",
+    "get_suite",
+    "BatchRunner",
+    "BatchResult",
+    "ResultStore",
     "Aig",
     "Xag",
     "Mig",

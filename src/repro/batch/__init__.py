@@ -1,0 +1,52 @@
+"""Parallel suite execution: manifests, process-pool runner, result store.
+
+The batch layer turns the one-circuit-at-a-time Flow API into a
+suite-throughput machine, in three pieces:
+
+* :mod:`~repro.batch.suite` — :class:`Suite` manifests: named circuit sets
+  (the EPFL-analogue evaluation suites, generated word-level families,
+  user TOML/JSON manifests);
+* :mod:`~repro.batch.runner` — :class:`BatchRunner`: shards a suite across
+  a process pool (per-worker warm :class:`~repro.flow.context.FlowContext`,
+  deterministic result ordering, per-circuit wall-time and metric capture,
+  graceful failure isolation) or runs it in-process when ``jobs=1``;
+* :mod:`~repro.batch.store` — :class:`ResultStore`: an append-only JSONL
+  log of runs keyed by flow script + circuit + git revision, with
+  :meth:`~repro.batch.store.ResultStore.compare` for regression deltas
+  against a baseline run.
+
+Quickstart::
+
+    from repro.batch import BatchRunner, ResultStore, get_suite
+
+    suite = get_suite("epfl-arithmetic")
+    batch = BatchRunner(jobs=4).run(suite, "compress2rs", scale="small",
+                                    store="results.jsonl")
+    print(batch.table())
+
+    store = ResultStore("results.jsonl")
+    print(store.compare("latest", baseline_run_id).format())
+
+The CLI fronts this with ``repro suite`` (list/show manifests) and
+``repro batch`` (run a flow over a suite with ``--jobs N``, ``--store``,
+``--compare-to``).
+"""
+
+from .suite import Suite, SuiteEntry, available_suites, get_suite
+from .runner import BatchResult, BatchRunner, CircuitOutcome, state_fingerprint
+from .store import Comparison, ResultStore, RunInfo, git_revision
+
+__all__ = [
+    "Suite",
+    "SuiteEntry",
+    "available_suites",
+    "get_suite",
+    "BatchRunner",
+    "BatchResult",
+    "CircuitOutcome",
+    "state_fingerprint",
+    "ResultStore",
+    "RunInfo",
+    "Comparison",
+    "git_revision",
+]

@@ -1,0 +1,406 @@
+"""BatchRunner — shard suite execution across a process pool.
+
+The runner turns a :class:`~repro.batch.suite.Suite` (or any circuit list)
+plus one flow script into per-circuit jobs and executes them either
+in-process (``jobs=1`` — one shared :class:`~repro.flow.context.FlowContext`,
+exactly the semantics of ``FlowRunner.run_many``) or across a
+``ProcessPoolExecutor`` (``jobs>1`` — one *per-worker* context built by the
+pool initializer, so shared engines stay warm within each worker while
+workers proceed independently).
+
+Guarantees:
+
+* **deterministic ordering** — outcomes come back in suite order regardless
+  of which worker finished first;
+* **failure isolation** — a circuit whose flow raises produces an ``error``
+  outcome (message + traceback) and the rest of the suite still runs;
+* **reproducibility metadata** — every outcome carries wall time, cost
+  before/after, pass count and a structural fingerprint
+  (:func:`state_fingerprint`) so two runs can be diffed bit-for-bit by
+  :meth:`~repro.batch.store.ResultStore.compare`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback as _traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..flow import Flow, FlowContext, FlowRunner, PassMetrics, resolve_flow
+from ..flow.context import state_cost, state_kind, state_summary
+from .suite import Suite, SuiteEntry
+
+__all__ = ["BatchRunner", "BatchResult", "CircuitOutcome", "state_fingerprint"]
+
+
+# ---------------------------------------------------------------------- #
+# structural fingerprints                                                 #
+# ---------------------------------------------------------------------- #
+
+def state_fingerprint(state) -> str:
+    """A structural hash of any pipeline state (16 hex chars).
+
+    Two runs produced identical results iff their fingerprints match: the
+    state is serialized canonically (AIGER for logic networks — converted
+    to AIG first when needed — BLIF for LUT networks, structural Verilog
+    for cell netlists) and hashed.  Deterministic across processes.
+    """
+    kind = state_kind(state)
+    if kind == "lut":
+        from ..io import write_blif
+
+        text = write_blif(state)
+    elif kind == "netlist":
+        from ..io import write_verilog_netlist
+
+        text = write_verilog_netlist(state)
+    else:
+        from ..io import write_aag
+        from ..networks import Aig, convert
+
+        ntk = state.ntk if kind == "choice" else state
+        if type(ntk) is not Aig:
+            ntk = convert(ntk, Aig)
+        text = write_aag(ntk)
+        if kind == "choice":
+            text = f"choices={state.num_choices()}\n" + text
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------- #
+# outcomes                                                                #
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class CircuitOutcome:
+    """What happened to one circuit of a batch run."""
+
+    name: str
+    index: int
+    status: str = "ok"                  # "ok" | "error"
+    seconds: float = 0.0
+    kind: str = ""                      # final state kind
+    before: tuple = ()                  # (size, depth) of the input
+    cost: tuple = ()                    # (size, depth) of the result
+    summary: str = ""
+    fingerprint: str = ""
+    n_passes: int = 0
+    error: str = ""
+    traceback: str = ""
+    worker: int = 0                     # pid of the executing process
+    metric_rows: List[tuple] = field(default_factory=list)
+    network: Any = None                 # final state (when returned)
+    result: Any = None                  # FlowResult — in-process runs only
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_record(self) -> dict:
+        """The JSON-serializable store record of this outcome."""
+        rec = {
+            "circuit": self.name,
+            "index": self.index,
+            "status": self.status,
+            "seconds": round(self.seconds, 6),
+            "state": self.kind,
+            "passes": self.n_passes,
+            "worker": self.worker,
+        }
+        if self.cost:
+            rec["size"], rec["depth"] = self.cost
+        if self.before:
+            rec["size_in"], rec["depth_in"] = self.before
+        if self.fingerprint:
+            rec["fingerprint"] = self.fingerprint
+        if self.error:
+            rec["error"] = self.error
+        return rec
+
+    def row(self) -> List:
+        if not self.ok:
+            return [self.name, "ERROR", "-", "-", round(self.seconds, 3),
+                    self.error.split("\n")[0][:50]]
+        size, depth = self.cost
+        fmt = lambda v: int(v) if float(v).is_integer() else round(v, 2)
+        return [self.name, "ok", fmt(size), fmt(depth),
+                round(self.seconds, 3), self.summary]
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one batch run: ordered per-circuit results + wall time."""
+
+    flow: str                           # canonical flow script
+    scale: str
+    jobs: int
+    outcomes: List[CircuitOutcome] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    suite: str = ""
+    run_id: str = ""                    # set when recorded into a store
+
+    @property
+    def failures(self) -> List[CircuitOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def by_name(self) -> Dict[str, CircuitOutcome]:
+        return {o.name: o for o in self.outcomes}
+
+    def table(self) -> str:
+        from ..experiments.common import format_table
+
+        label = f" [{self.suite}]" if self.suite else ""
+        return format_table(
+            ["circuit", "status", "size", "depth", "seconds", "result"],
+            [o.row() for o in self.outcomes],
+            title=(f"batch{label}: {self.flow!r} at scale {self.scale}, "
+                   f"jobs={self.jobs}, wall {self.wall_seconds:.2f}s"))
+
+
+# ---------------------------------------------------------------------- #
+# worker-side execution                                                   #
+# ---------------------------------------------------------------------- #
+
+_WORKER_CTX: Optional[FlowContext] = None
+
+
+def _init_worker(n_patterns: int, seed: int) -> None:
+    """Pool initializer: one warm FlowContext per worker process."""
+    global _WORKER_CTX
+    _WORKER_CTX = FlowContext(n_patterns=n_patterns, seed=seed)
+
+
+def _build_circuit(spec, scale: str):
+    """Materialize a payload circuit spec (SuiteEntry | name | network)."""
+    if isinstance(spec, SuiteEntry):
+        return spec.build(scale)
+    if isinstance(spec, str):
+        from ..circuits import load
+
+        return load(spec, scale)
+    return spec                          # an already-built network object
+
+
+def _execute_flow_job(payload: dict, ctx: Optional[FlowContext] = None,
+                      keep_objects: bool = False) -> CircuitOutcome:
+    """Run one circuit's flow; never raises — failures become outcomes."""
+    import os
+
+    if ctx is None:
+        ctx = _WORKER_CTX
+        if ctx is None:                  # pool without initializer (jobs=1 path)
+            ctx = FlowContext()
+    outcome = CircuitOutcome(name=payload["name"], index=payload["index"],
+                             worker=os.getpid())
+    t0 = time.perf_counter()
+    try:
+        ntk = _build_circuit(payload["spec"], payload["scale"])
+        outcome.before = state_cost(ntk)
+        runner = FlowRunner(ctx, verify=payload.get("verify", False),
+                            checkpoint=payload.get("checkpoint", False))
+        result = runner.run(ntk, Flow.parse(payload["flow"]), name=payload["name"])
+        outcome.seconds = time.perf_counter() - t0
+        outcome.kind = state_kind(result.network)
+        outcome.cost = state_cost(result.network)
+        outcome.summary = state_summary(result.network)
+        outcome.fingerprint = state_fingerprint(result.network)
+        outcome.n_passes = len(result.metrics)
+        outcome.metric_rows = [
+            (m.name, m.script, m.seconds, tuple(m.before), tuple(m.after),
+             m.kind_before, m.kind_after) for m in result.metrics]
+        if payload.get("return_network", True):
+            outcome.network = result.network
+        if keep_objects:
+            outcome.result = result
+    except Exception as exc:             # per-circuit isolation
+        outcome.seconds = time.perf_counter() - t0
+        outcome.status = "error"
+        outcome.error = f"{type(exc).__name__}: {exc}"
+        outcome.traceback = _traceback.format_exc()
+    return outcome
+
+
+def _execute_map_job(payload: tuple):
+    """Generic fan-out: run ``fn(task, ctx)`` under the worker context."""
+    index, fn, task = payload
+    ctx = _WORKER_CTX if _WORKER_CTX is not None else FlowContext()
+    return index, fn(task, ctx)
+
+
+# ---------------------------------------------------------------------- #
+# the runner                                                              #
+# ---------------------------------------------------------------------- #
+
+class BatchRunner:
+    """Execute flows (or arbitrary per-task functions) over circuit sets.
+
+    ``jobs=1`` runs in-process against ``context`` (or a fresh one);
+    ``jobs>1`` shards across a process pool with one warm per-worker
+    context.  ``progress`` is an optional ``callable(done, total, outcome)``
+    invoked as results arrive (completion order, not suite order).
+    """
+
+    def __init__(self, *, jobs: int = 1, context: Optional[FlowContext] = None,
+                 progress: Optional[Callable] = None, verify: bool = False,
+                 checkpoint: bool = False, n_patterns: int = 256, seed: int = 1,
+                 return_networks: bool = True):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.ctx = context if context is not None else FlowContext(
+            n_patterns=n_patterns, seed=seed)
+        self.progress = progress
+        self.verify = verify
+        self.checkpoint = checkpoint
+        self.n_patterns = n_patterns
+        self.seed = seed
+        self.return_networks = return_networks
+
+    # -- flow batches --------------------------------------------------------
+
+    def run(self, circuits: Union[Suite, Iterable], flow,
+            *, scale: Optional[str] = None, store=None,
+            store_meta: Optional[dict] = None) -> BatchResult:
+        """Run one flow over a suite / circuit list; returns a
+        :class:`BatchResult` with outcomes in suite order.
+
+        ``circuits`` is a :class:`Suite`, or an iterable mixing benchmark
+        names, ``.aag`` paths, :class:`SuiteEntry` items and network
+        objects.  ``store`` (a :class:`~repro.batch.store.ResultStore` or a
+        path) records the run when given.
+        """
+        suite_name = ""
+        if isinstance(circuits, Suite):
+            suite_name = circuits.name
+            scale = scale or circuits.scale
+            items: Sequence = list(circuits.entries)
+        else:
+            items = list(circuits)
+        scale = scale or "small"
+        flow_text = resolve_flow(flow).to_script()
+
+        payloads = self._payloads(items, flow_text, scale)
+        t0 = time.perf_counter()
+        if self.jobs == 1 or len(payloads) <= 1:
+            outcomes = self._run_sequential(payloads)
+        else:
+            outcomes = self._run_pool(payloads)
+        result = BatchResult(flow=flow_text, scale=scale, jobs=self.jobs,
+                             outcomes=outcomes,
+                             wall_seconds=time.perf_counter() - t0,
+                             suite=suite_name)
+        if store is not None:
+            from .store import ResultStore
+
+            if not isinstance(store, ResultStore):
+                store = ResultStore(store)
+            store.record(result, meta=store_meta)
+        return result
+
+    def _payloads(self, items: Sequence, flow_text: str, scale: str) -> List[dict]:
+        payloads, seen = [], set()
+        for i, item in enumerate(items):
+            if isinstance(item, SuiteEntry):
+                name, spec = item.name, item
+            elif isinstance(item, str) or hasattr(item, "suffix"):
+                name, spec = str(item), str(item)
+            else:
+                name, spec = getattr(item, "name", "") or f"circuit{i}", item
+            if name in seen:             # repeated circuit: keep both results
+                suffix = 2
+                while f"{name}#{suffix}" in seen:
+                    suffix += 1
+                name = f"{name}#{suffix}"
+            seen.add(name)
+            payloads.append({"index": i, "name": name, "spec": spec,
+                             "scale": scale, "flow": flow_text,
+                             "verify": self.verify,
+                             "checkpoint": self.checkpoint,
+                             "return_network": self.return_networks})
+        return payloads
+
+    def _run_sequential(self, payloads: List[dict]) -> List[CircuitOutcome]:
+        outcomes = []
+        for done, payload in enumerate(payloads, 1):
+            outcome = _execute_flow_job(payload, ctx=self.ctx, keep_objects=True)
+            outcomes.append(outcome)
+            if self.progress:
+                self.progress(done, len(payloads), outcome)
+        return outcomes
+
+    def _run_pool(self, payloads: List[dict]) -> List[CircuitOutcome]:
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+        outcomes: Dict[int, CircuitOutcome] = {}
+        with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(payloads)),
+                initializer=_init_worker,
+                initargs=(self.n_patterns, self.seed)) as pool:
+            pending = {pool.submit(_execute_flow_job, p): p for p in payloads}
+            while pending:
+                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    payload = pending.pop(future)
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:   # worker process died
+                        outcome = CircuitOutcome(
+                            name=payload["name"], index=payload["index"],
+                            status="error",
+                            error=f"worker failed: {type(exc).__name__}: {exc}")
+                    outcomes[outcome.index] = outcome
+                    if self.progress:
+                        self.progress(len(outcomes), len(payloads), outcome)
+        return [outcomes[i] for i in sorted(outcomes)]
+
+    # -- generic fan-out (the experiments drivers) ---------------------------
+
+    def map(self, tasks: Sequence, fn: Callable) -> List:
+        """Apply ``fn(task, ctx)`` to every task, in order.
+
+        ``fn`` must be a module-level callable (picklable by reference) and
+        each task picklable.  With ``jobs=1`` every call shares this
+        runner's context; with ``jobs>1`` tasks shard across the pool and
+        run under per-worker contexts.  Unlike :meth:`run`, exceptions
+        propagate — callers wanting isolation use :meth:`run`.
+        """
+        tasks = list(tasks)
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [fn(task, self.ctx) for task in tasks]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(tasks)),
+                initializer=_init_worker,
+                initargs=(self.n_patterns, self.seed)) as pool:
+            indexed = pool.map(_execute_map_job,
+                               [(i, fn, t) for i, t in enumerate(tasks)])
+            results = {i: r for i, r in indexed}
+        return [results[i] for i in range(len(tasks))]
+
+    # -- interop with the flow API -------------------------------------------
+
+    def flow_results(self, batch: BatchResult) -> "Dict[str, Any]":
+        """View a batch's outcomes as ``name -> FlowResult`` (the
+        ``FlowRunner.run_many`` return shape).  Failed circuits raise."""
+        from ..flow import FlowError
+        from ..flow.runner import FlowResult
+
+        out: Dict[str, Any] = {}
+        for o in batch.outcomes:
+            if not o.ok:
+                raise FlowError(
+                    f"flow failed on {o.name!r}: {o.error}\n{o.traceback}")
+            if o.result is not None:
+                out[o.name] = o.result
+                continue
+            metrics = [PassMetrics(name=n, script=s, seconds=sec,
+                                   before=b, after=a,
+                                   kind_before=kb, kind_after=ka)
+                       for n, s, sec, b, a, kb, ka in o.metric_rows]
+            out[o.name] = FlowResult(
+                network=o.network, input=None, flow=Flow.parse(batch.flow),
+                metrics=metrics, seconds=o.seconds, name=o.name)
+        return out

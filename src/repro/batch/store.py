@@ -1,0 +1,269 @@
+"""ResultStore — an append-only JSONL record of batch runs.
+
+Every batch invocation appends one ``run`` header line (flow script, suite,
+scale, jobs, git revision, wall time) followed by one ``result`` line per
+circuit (status, cost, structural fingerprint, seconds, worker pid).  The
+file is plain JSON-lines: greppable, diffable, safe to append to from
+successive runs, and the unit of regression tracking —
+:meth:`ResultStore.compare` diffs two runs circuit by circuit and reports
+quality regressions, result divergences (fingerprint mismatches at equal
+cost) and the wall-time speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["ResultStore", "RunInfo", "Comparison", "git_revision"]
+
+_GIT_REV_CACHE: Dict[str, str] = {}
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The short git revision of ``cwd`` (or $PWD), or ``"unknown"``."""
+    key = cwd or os.getcwd()
+    if key not in _GIT_REV_CACHE:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"], cwd=cwd,
+                capture_output=True, text=True, timeout=10)
+            _GIT_REV_CACHE[key] = out.stdout.strip() if out.returncode == 0 else "unknown"
+        except Exception:
+            _GIT_REV_CACHE[key] = "unknown"
+    return _GIT_REV_CACHE[key]
+
+
+@dataclass
+class RunInfo:
+    """One recorded batch run: the header line plus its result records."""
+
+    run_id: str
+    header: dict
+    results: Dict[str, dict] = field(default_factory=dict)   # circuit -> record
+
+    @property
+    def flow(self) -> str:
+        return self.header.get("flow", "")
+
+    @property
+    def suite(self) -> str:
+        return self.header.get("suite", "")
+
+    @property
+    def wall_seconds(self) -> float:
+        return float(self.header.get("wall_seconds", 0.0))
+
+    @property
+    def failures(self) -> List[str]:
+        return [c for c, r in self.results.items() if r.get("status") != "ok"]
+
+
+@dataclass
+class Comparison:
+    """Per-circuit delta report between a run and a baseline run."""
+
+    run: RunInfo
+    baseline: RunInfo
+    rows: List[dict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[dict]:
+        """Rows where the run is worse than the baseline (bigger size or
+        depth, a new failure, or a structural divergence)."""
+        return [r for r in self.rows if r["regressed"]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    @property
+    def speedup(self) -> float:
+        """Baseline wall time over run wall time (>1 = the run is faster)."""
+        if self.run.wall_seconds <= 0:
+            return 0.0
+        return self.baseline.wall_seconds / self.run.wall_seconds
+
+    def format(self) -> str:
+        from ..experiments.common import format_table
+
+        rows = [[r["circuit"], r["status"], r["base_status"],
+                 r.get("size", "-"), r.get("d_size", "-"),
+                 r.get("depth", "-"), r.get("d_depth", "-"),
+                 "DIVERGED" if r["diverged"] else
+                 ("REGRESSED" if r["regressed"] else "ok")]
+                for r in self.rows]
+        table = format_table(
+            ["circuit", "status", "base", "size", "Δsize", "depth", "Δdepth", "verdict"],
+            rows,
+            title=(f"run {self.run.run_id} vs baseline {self.baseline.run_id} "
+                   f"(wall {self.run.wall_seconds:.2f}s vs "
+                   f"{self.baseline.wall_seconds:.2f}s, "
+                   f"speedup {self.speedup:.2f}x)"))
+        verdict = ("zero regressions" if self.ok
+                   else f"{len(self.regressions)} REGRESSION(S)")
+        return f"{table}\n{verdict}"
+
+
+class ResultStore:
+    """Append-only JSONL store of batch runs (see the module docstring)."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    # -- writing -------------------------------------------------------------
+
+    def record(self, batch, *, suite: str = "", meta: Optional[dict] = None) -> str:
+        """Append one batch result (header + per-circuit lines); returns the
+        new run id.  ``batch`` is a :class:`~repro.batch.runner.BatchResult`.
+        """
+        run_id = self._new_run_id()
+        header = {
+            "kind": "run",
+            "run_id": run_id,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "git_rev": git_revision(),
+            "flow": batch.flow,
+            "suite": suite or batch.suite,
+            "scale": batch.scale,
+            "jobs": batch.jobs,
+            "wall_seconds": round(batch.wall_seconds, 6),
+            "circuits": len(batch.outcomes),
+            "failures": len(batch.failures),
+        }
+        if meta:
+            header["meta"] = meta
+        lines = [json.dumps(header)]
+        for outcome in batch.outcomes:
+            rec = outcome.to_record()
+            rec["kind"] = "result"
+            rec["run_id"] = run_id
+            lines.append(json.dumps(rec))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            fh.write("\n".join(lines) + "\n")
+        batch.run_id = run_id
+        return run_id
+
+    def _new_run_id(self) -> str:
+        return time.strftime("r%Y%m%d-%H%M%S") + "-" + os.urandom(3).hex()
+
+    # -- reading -------------------------------------------------------------
+
+    def runs(self) -> List[RunInfo]:
+        """All recorded runs in file (chronological) order."""
+        runs: Dict[str, RunInfo] = {}
+        order: List[str] = []
+        if not self.path.exists():
+            return []
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("kind") == "run":
+                runs[rec["run_id"]] = RunInfo(run_id=rec["run_id"], header=rec)
+                order.append(rec["run_id"])
+            elif rec.get("kind") == "result":
+                run = runs.get(rec.get("run_id"))
+                if run is not None:
+                    run.results[rec["circuit"]] = rec
+        return [runs[r] for r in order]
+
+    def find_run(self, run_id: Optional[str] = None, *, flow: Optional[str] = None,
+                 suite: Optional[str] = None, exclude: Optional[str] = None) -> RunInfo:
+        """Resolve one run: by (prefix of an) id, or the latest run matching
+        ``flow`` / ``suite`` filters (``run_id="latest"`` or None = latest).
+        ``exclude`` skips one run id — used to diff a fresh run against the
+        latest *previous* one.
+        """
+        runs = self.runs()
+        if not runs:
+            raise ValueError(f"result store {self.path} holds no runs")
+        if run_id and run_id != "latest":
+            matches = [r for r in runs if r.run_id == run_id] or \
+                      [r for r in runs if r.run_id.startswith(run_id)
+                       and r.run_id != exclude]
+            if not matches:
+                raise ValueError(f"no run {run_id!r} in {self.path}")
+            return matches[-1]
+        for run in reversed(runs):
+            if run.run_id == exclude:
+                continue
+            if flow is not None and run.flow != flow:
+                continue
+            if suite is not None and run.suite != suite:
+                continue
+            return run
+        raise ValueError(f"no run matching flow={flow!r} suite={suite!r} "
+                         f"in {self.path}")
+
+    # -- regression deltas ---------------------------------------------------
+
+    def compare(self, run: Union[str, RunInfo], baseline: Union[str, RunInfo]) -> Comparison:
+        """Diff ``run`` against ``baseline`` circuit by circuit.
+
+        A circuit **regressed** when it fails where the baseline succeeded,
+        its size or depth grew, or its structural fingerprint diverged from
+        the baseline at equal cost (the bit-identical check).  Circuits only
+        present on one side are reported but not counted as regressions.
+        """
+        if not isinstance(run, RunInfo):
+            run = self.find_run(run)
+        if not isinstance(baseline, RunInfo):
+            baseline = self.find_run(baseline)
+        rows: List[dict] = []
+        for circuit in baseline.results.keys() | run.results.keys():
+            mine = run.results.get(circuit)
+            base = baseline.results.get(circuit)
+            rows.append(_compare_circuit(circuit, mine, base))
+        rows.sort(key=lambda r: r["circuit"])
+        return Comparison(run=run, baseline=baseline, rows=rows)
+
+
+def _compare_circuit(circuit: str, mine: Optional[dict],
+                     base: Optional[dict]) -> dict:
+    row = {
+        "circuit": circuit,
+        "status": mine.get("status") if mine else "missing",
+        "base_status": base.get("status") if base else "missing",
+        "regressed": False,
+        "diverged": False,
+    }
+    if mine is None or base is None:
+        return row
+    if mine.get("status") != "ok":
+        row["regressed"] = base.get("status") == "ok"
+        return row
+    if base.get("status") != "ok":
+        return row            # fixed a baseline failure: an improvement
+    size, depth = mine.get("size"), mine.get("depth")
+    row.update(size=size, depth=depth,
+               d_size=_delta(size, base.get("size")),
+               d_depth=_delta(depth, base.get("depth")))
+    worse = (_is_worse(size, base.get("size"))
+             or _is_worse(depth, base.get("depth")))
+    # a fingerprint mismatch only counts as a divergence at equal cost —
+    # a genuine improvement necessarily changes the structure
+    same_cost = size == base.get("size") and depth == base.get("depth")
+    fp_mine, fp_base = mine.get("fingerprint"), base.get("fingerprint")
+    row["diverged"] = bool(same_cost and fp_mine and fp_base
+                           and fp_mine != fp_base)
+    row["regressed"] = worse or row["diverged"]
+    return row
+
+
+def _delta(mine, base):
+    if mine is None or base is None:
+        return "-"
+    d = mine - base
+    return d if d else 0
+
+
+def _is_worse(mine, base) -> bool:
+    return mine is not None and base is not None and mine > base

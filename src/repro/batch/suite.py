@@ -1,0 +1,242 @@
+"""Suite manifests — named, reproducible sets of benchmark circuits.
+
+A :class:`Suite` is the unit the batch layer executes over: an ordered list
+of :class:`SuiteEntry` items, each naming either a registry benchmark
+(the EPFL-analogue generators), an ``.aag`` file, or a *generated* circuit
+(a builder from the benchmark registry invoked with explicit parameters —
+how the word-level families are expressed).  Entries are plain picklable
+data so a suite can be sharded across worker processes verbatim.
+
+Built-in suites cover the paper's evaluation sets (``epfl-arithmetic``,
+``epfl-control``, ``epfl-all``), a fast ``epfl-mini`` subset for smokes,
+and generated word-level families (``wordlevel-adders``,
+``wordlevel-multipliers``, ``wordlevel-squares``).  User suites load from
+TOML or JSON manifests::
+
+    name = "my-suite"
+    description = "two registry circuits and a generated 12-bit adder"
+    scale = "tiny"
+    circuits = [
+        "adder",
+        "ctrl",
+        { builder = "adder", width = 12, name = "adder-w12" },
+    ]
+
+``repro suite`` lists the available manifests; ``repro batch <suite> …``
+runs a flow over one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+__all__ = ["Suite", "SuiteEntry", "available_suites", "get_suite"]
+
+_SCALES = ("tiny", "small", "medium")
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One circuit of a suite: a registry name, an ``.aag`` path, or a
+    builder invocation with explicit parameters.
+
+    Exactly one of ``circuit`` (registry name / file path) or ``builder``
+    (+ ``params``) is set.  ``scale`` optionally overrides the suite scale
+    for this entry; it is ignored for builder entries, whose ``params``
+    pin the size explicitly.
+    """
+
+    name: str                              # result key / display name
+    circuit: Optional[str] = None          # benchmark name or .aag path
+    builder: Optional[str] = None          # registry builder invoked directly
+    params: tuple = ()                     # sorted (key, value) builder kwargs
+    scale: Optional[str] = None            # per-entry scale override
+
+    def build(self, scale: str = "small"):
+        """Materialize this entry into a network at ``scale``."""
+        from ..circuits import load
+        from ..circuits.epfl import _BUILDERS
+
+        if self.builder is not None:
+            if self.builder not in _BUILDERS:
+                raise ValueError(f"unknown builder {self.builder!r} "
+                                 f"in suite entry {self.name!r}")
+            return _BUILDERS[self.builder](**dict(self.params))
+        return load(self.circuit, self.scale or scale)
+
+    def describe(self) -> str:
+        """Short human spec, e.g. ``adder`` or ``adder(width=12)``."""
+        if self.builder is not None:
+            args = ", ".join(f"{k}={v}" for k, v in self.params)
+            return f"{self.builder}({args})"
+        return str(self.circuit)
+
+
+@dataclass
+class Suite:
+    """A named, ordered circuit set with a default scale.
+
+    Iterate it for its entries; ``build_all`` materializes every member.
+    """
+
+    name: str
+    entries: List[SuiteEntry] = field(default_factory=list)
+    description: str = ""
+    scale: str = "small"
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[SuiteEntry]:
+        return iter(self.entries)
+
+    def names(self) -> List[str]:
+        """The result keys of the members, in suite order."""
+        return [e.name for e in self.entries]
+
+    def build_all(self, scale: Optional[str] = None) -> Dict[str, object]:
+        """Build every member; returns an ordered ``name -> network`` map."""
+        scale = scale or self.scale
+        return {e.name: e.build(scale) for e in self.entries}
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def of_circuits(cls, name: str, circuits: Sequence, *, scale: str = "small",
+                    description: str = "") -> "Suite":
+        """An ad-hoc suite from benchmark names / ``.aag`` paths."""
+        entries = [SuiteEntry(name=str(c), circuit=str(c)) for c in circuits]
+        return cls(name=name, entries=entries, description=description,
+                   scale=scale)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "Suite":
+        """Load a TOML or JSON suite manifest (see the module docstring)."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            import tomllib
+
+            data = tomllib.loads(text)
+        elif path.suffix.lower() == ".json":
+            data = json.loads(text)
+        else:
+            raise ValueError(
+                f"suite manifest must be .toml or .json, got {path.name!r}")
+        return cls.from_dict(data, default_name=path.stem, base_dir=path.parent)
+
+    @classmethod
+    def from_dict(cls, data: dict, *, default_name: str = "suite",
+                  base_dir: Optional[Path] = None) -> "Suite":
+        """Build a suite from manifest data (the parsed TOML/JSON payload)."""
+        scale = data.get("scale", "small")
+        if scale not in _SCALES:
+            raise ValueError(f"suite scale must be one of {_SCALES}, got {scale!r}")
+        entries = []
+        for item in data.get("circuits", []):
+            entries.append(_parse_entry(item, base_dir))
+        if not entries:
+            raise ValueError("suite manifest lists no circuits")
+        return cls(name=data.get("name", default_name), entries=entries,
+                   description=data.get("description", ""), scale=scale)
+
+
+def _parse_entry(item, base_dir: Optional[Path]) -> SuiteEntry:
+    if isinstance(item, str):
+        return SuiteEntry(name=item, circuit=_resolve_path(item, base_dir))
+    if isinstance(item, dict):
+        spec = dict(item)
+        name = spec.pop("name", None)
+        scale = spec.pop("scale", None)
+        builder = spec.pop("builder", None)
+        circuit = spec.pop("circuit", None)
+        if (builder is None) == (circuit is None):
+            raise ValueError(
+                f"suite entry needs exactly one of 'circuit' or 'builder': {item!r}")
+        if builder is not None:
+            params = tuple(sorted(spec.items()))
+            label = name or f"{builder}-" + "-".join(f"{k}{v}" for k, v in params)
+            return SuiteEntry(name=label, builder=builder, params=params)
+        if spec:
+            raise ValueError(f"unknown suite entry keys {sorted(spec)} in {item!r}")
+        return SuiteEntry(name=name or str(circuit),
+                          circuit=_resolve_path(circuit, base_dir), scale=scale)
+    raise ValueError(f"bad suite entry {item!r} (expected string or table)")
+
+
+def _resolve_path(circuit: str, base_dir: Optional[Path]) -> str:
+    """Resolve ``.aag`` paths in manifests relative to the manifest file."""
+    if base_dir is not None and str(circuit).endswith(".aag"):
+        candidate = Path(circuit)
+        if not candidate.is_absolute():
+            return str(base_dir / candidate)
+    return str(circuit)
+
+
+# ---------------------------------------------------------------------- #
+# built-in suites                                                         #
+# ---------------------------------------------------------------------- #
+
+def _bench_suite(name: str, circuits: Sequence[str], description: str) -> Suite:
+    return Suite.of_circuits(name, circuits, description=description)
+
+
+def _family(builder: str, key: str, values: Sequence[int]) -> List[SuiteEntry]:
+    return [SuiteEntry(name=f"{builder}-{key[0]}{v}", builder=builder,
+                       params=((key, v),)) for v in values]
+
+
+def _builtin_suites() -> Dict[str, Suite]:
+    from ..circuits import ARITHMETIC, CONTROL
+
+    suites = [
+        _bench_suite("epfl-arithmetic", ARITHMETIC,
+                     "the ten EPFL-analogue arithmetic circuits"),
+        _bench_suite("epfl-control", CONTROL,
+                     "the ten EPFL-analogue random/control circuits"),
+        _bench_suite("epfl-all", ARITHMETIC + CONTROL,
+                     "the full 20-circuit EPFL-analogue suite"),
+        _bench_suite("epfl-mini", ["ctrl", "dec", "int2float", "router", "cavlc"],
+                     "five fast control circuits for smokes and CI"),
+        Suite("wordlevel-adders", _family("adder", "width", (4, 8, 16, 24)),
+              "generated ripple-carry adder family across widths", "small"),
+        Suite("wordlevel-multipliers", _family("multiplier", "width", (3, 4, 6)),
+              "generated array-multiplier family across widths", "small"),
+        Suite("wordlevel-squares", _family("square", "width", (4, 6, 8)),
+              "generated squarer family across widths", "small"),
+    ]
+    return {s.name: s for s in suites}
+
+
+def available_suites() -> Dict[str, Suite]:
+    """All built-in suite manifests, keyed by name."""
+    return _builtin_suites()
+
+
+def get_suite(spec: Union[str, Path, Suite]) -> Suite:
+    """Resolve a suite spec: a :class:`Suite`, a built-in name, a manifest
+    path (``.toml`` / ``.json``), or a comma-separated circuit list."""
+    if isinstance(spec, Suite):
+        return spec
+    text = str(spec)
+    builtins = _builtin_suites()
+    if text in builtins:
+        return builtins[text]
+    if text.endswith((".toml", ".json")):
+        path = Path(text)
+        if not path.exists():
+            raise ValueError(f"suite manifest {text!r} does not exist")
+        return Suite.from_file(path)
+    from ..circuits import ALL_BENCHMARKS
+
+    circuits = [c.strip() for c in text.split(",") if c.strip()]
+    if circuits and all(c in ALL_BENCHMARKS or c.endswith(".aag")
+                        for c in circuits):
+        return Suite.of_circuits("adhoc", circuits,
+                                 description="ad-hoc circuit list")
+    raise ValueError(
+        f"unknown suite {text!r} (know {sorted(builtins)}, a .toml/.json "
+        f"manifest path, or a comma-separated circuit list)")

@@ -9,7 +9,10 @@ Commands:
 * ``map-asic <circuit>``             — (MCH) ASIC mapping, optional Verilog out;
 * ``passes``                         — list the registered flow passes;
 * ``table1 | table2 | fig1 | fig2 | fig6`` — regenerate a paper artifact;
-* ``suite``                          — list the available benchmarks.
+* ``suite``                          — list suite manifests / show one suite;
+* ``batch``                          — run a flow over a whole suite in
+  parallel (``--jobs N``), record to a result store, diff against a
+  baseline run (``--compare-to``).
 
 Circuits are the EPFL-analogue generator names (see ``suite``), or a path to
 an ASCII AIGER file (``.aag``).  Every command that transforms a circuit is
@@ -29,7 +32,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from .circuits import ALL_BENCHMARKS, build, load
+from .circuits import load
 from .flow import (
     FlowContext,
     FlowError,
@@ -130,11 +133,71 @@ def cmd_info(args) -> int:
 
 
 def cmd_suite(args) -> int:
-    for name in ALL_BENCHMARKS:
-        ntk = build(name, args.scale)
-        print(f"{name:11s} pis={ntk.num_pis():4d} pos={ntk.num_pos():4d} "
+    from .batch import available_suites, get_suite
+
+    if not args.name:
+        for name, suite in available_suites().items():
+            print(f"{name:22s} {len(suite):3d} circuits  "
+                  f"[{suite.scale}]  {suite.description}")
+        print("\nshow one with: repro suite <name|manifest.toml|manifest.json>")
+        return 0
+    try:
+        suite = get_suite(args.name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    scale = args.scale or suite.scale
+    print(f"{suite.name}: {len(suite)} circuits at scale {scale}"
+          + (f" — {suite.description}" if suite.description else ""))
+    for entry in suite:
+        ntk = entry.build(scale)
+        print(f"{entry.name:14s} {entry.describe():24s} "
+              f"pis={ntk.num_pis():4d} pos={ntk.num_pos():4d} "
               f"gates={ntk.num_gates():5d} depth={ntk.depth():4d}")
     return 0
+
+
+def cmd_batch(args) -> int:
+    from .batch import BatchRunner, ResultStore, get_suite
+
+    if bool(args.script) == bool(args.flow):
+        raise SystemExit("batch: give exactly one of --script or --flow")
+    if args.compare_to and not args.store:
+        raise SystemExit("batch: --compare-to needs --store")
+    try:
+        suite = get_suite(args.suite)
+        flow = resolve_flow(args.script or args.flow)
+    except (ValueError, FlowError) as exc:
+        raise SystemExit(str(exc))
+
+    def progress(done, total, outcome):
+        status = "ok" if outcome.ok else "ERROR"
+        print(f"[{done}/{total}] {outcome.name}: {status} "
+              f"({outcome.seconds:.2f}s)", flush=True)
+
+    runner = BatchRunner(jobs=args.jobs, verify=args.verify,
+                         progress=progress if not args.quiet else None,
+                         return_networks=False)
+    store = ResultStore(args.store) if args.store else None
+    batch = runner.run(suite, flow, scale=args.scale, store=store)
+    print(batch.table())
+    if batch.run_id:
+        print(f"recorded run {batch.run_id} -> {store.path}")
+    for outcome in batch.failures:
+        print(f"\nFAILED {outcome.name}: {outcome.error}")
+        if outcome.traceback:
+            print(outcome.traceback.rstrip())
+    if args.compare_to:
+        try:
+            mine = store.find_run(batch.run_id or "latest")
+            baseline = store.find_run(args.compare_to, exclude=mine.run_id)
+            cmp = store.compare(mine, baseline)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print()
+        print(cmp.format())
+        if not cmp.ok:
+            return 1
+    return 1 if batch.failures else 0
 
 
 def cmd_passes(args) -> int:
@@ -147,6 +210,7 @@ def cmd_passes(args) -> int:
             caps += "  [needs library]"
         print(f"{info.name:5s}{aliases:20s} {flags}")
         print(f"      {info.help}{caps}")
+    print("\nfull grammar reference and script cookbook: docs/flow-dsl.md")
     return 0
 
 
@@ -256,9 +320,33 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default="small", choices=_SCALES)
     p.set_defaults(fn=cmd_info)
 
-    p = sub.add_parser("suite", help="list available benchmarks")
-    p.add_argument("--scale", default="small", choices=_SCALES)
+    p = sub.add_parser("suite", help="list suite manifests, or show one suite")
+    p.add_argument("name", nargs="?",
+                   help="suite name or .toml/.json manifest path "
+                        "(omit to list the available manifests)")
+    p.add_argument("--scale", default=None, choices=_SCALES)
     p.set_defaults(fn=cmd_suite)
+
+    p = sub.add_parser("batch",
+                       help="run a flow over a whole suite, optionally in "
+                            "parallel, recording to a result store")
+    p.add_argument("suite", help="suite name, manifest path, or "
+                                 "comma-separated circuit list")
+    p.add_argument("--script", help='flow script, e.g. "b; rf; rs; gm -k 4"')
+    p.add_argument("--flow", help="named flow spec (compress2rs, resyn2rs)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = in-process, shared context)")
+    p.add_argument("--scale", default=None, choices=_SCALES,
+                   help="circuit scale (default: the suite's own)")
+    p.add_argument("--store", help="append the run to this JSONL result store")
+    p.add_argument("--compare-to",
+                   help="run id (or prefix, or 'latest') in the store to "
+                        "diff against; exits 1 on regressions")
+    p.add_argument("--verify", action="store_true",
+                   help="CEC every circuit's result against its input")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-circuit progress lines")
+    p.set_defaults(fn=cmd_batch)
 
     p = sub.add_parser("passes", help="list registered flow passes")
     p.set_defaults(fn=cmd_passes)

@@ -16,7 +16,7 @@ from contextlib import contextmanager
 from typing import Dict, Iterable, List, Sequence
 
 __all__ = ["geomean", "improvement", "Timer", "format_table",
-           "experiment_context", "preoptimize", "scripted"]
+           "experiment_context", "preoptimize", "scripted", "batch_map"]
 
 
 def experiment_context():
@@ -38,6 +38,22 @@ def scripted(ntk, flow, context=None, **spec_kwargs):
     from ..flow import FlowRunner, resolve_flow
 
     return FlowRunner(context).run(ntk, resolve_flow(flow, **spec_kwargs)).network
+
+
+def batch_map(tasks, fn, jobs: int = 1, context=None):
+    """Fan ``fn(task, ctx)`` over tasks through the batch layer, in order.
+
+    The uniform parallelism hook of the experiment drivers: ``jobs=1`` runs
+    every task against one shared context (``context`` or a fresh one) —
+    the historical sequential semantics — while ``jobs>1`` shards tasks
+    across worker processes, each with its own warm context.  ``fn`` must
+    be a module-level callable and the tasks picklable.
+    """
+    from ..batch import BatchRunner
+
+    runner = BatchRunner(jobs=jobs,
+                         context=context if jobs == 1 else None)
+    return runner.map(tasks, fn)
 
 
 def geomean(values: Iterable[float]) -> float:

@@ -14,7 +14,7 @@ from typing import Dict, Optional, Sequence, Type
 from ..circuits import build
 from ..mapping import asic_map, graph_map
 from ..networks import Aig, LogicNetwork, Mig, Xag, Xmg
-from .common import format_table, preoptimize
+from .common import batch_map, format_table, preoptimize
 
 __all__ = ["REPRESENTATIONS", "run_fig1", "format_fig1"]
 
@@ -37,26 +37,34 @@ class Fig1Row:
     area_delay: float
 
 
+def _rep_task(task, ctx):
+    """Convert-and-map one representation (sharded by ``run_fig1``)."""
+    rep_name, ntk = task
+    converted = graph_map(ntk, REPRESENTATIONS[rep_name], objective="area")
+    nl_d = asic_map(converted, objective="delay")
+    nl_a = asic_map(converted, objective="area")
+    return rep_name, Fig1Row(
+        rep=rep_name,
+        gates=converted.num_gates(),
+        depth=converted.depth(),
+        delay_area=nl_d.area(),
+        delay_delay=nl_d.delay(),
+        area_area=nl_a.area(),
+        area_delay=nl_a.delay(),
+    )
+
+
 def run_fig1(circuit: str = "max", scale: str = "small",
-             reps: Optional[Sequence[str]] = None) -> Dict[str, Fig1Row]:
-    """Map one circuit from each representation; returns rep -> row."""
+             reps: Optional[Sequence[str]] = None,
+             jobs: int = 1) -> Dict[str, Fig1Row]:
+    """Map one circuit from each representation; returns rep -> row.
+
+    The shared pre-optimized network is computed once; ``jobs>1`` fans the
+    per-representation conversions and mappings across worker processes.
+    """
     ntk = preoptimize(build(circuit, scale), rounds=2)
-    out: Dict[str, Fig1Row] = {}
-    for rep_name in (reps or REPRESENTATIONS):
-        cls = REPRESENTATIONS[rep_name]
-        converted = graph_map(ntk, cls, objective="area")
-        nl_d = asic_map(converted, objective="delay")
-        nl_a = asic_map(converted, objective="area")
-        out[rep_name] = Fig1Row(
-            rep=rep_name,
-            gates=converted.num_gates(),
-            depth=converted.depth(),
-            delay_area=nl_d.area(),
-            delay_delay=nl_d.delay(),
-            area_area=nl_a.area(),
-            area_delay=nl_a.delay(),
-        )
-    return out
+    tasks = [(rep_name, ntk) for rep_name in (reps or REPRESENTATIONS)]
+    return dict(batch_map(tasks, _rep_task, jobs=jobs))
 
 
 def format_fig1(rows: Dict[str, Fig1Row], circuit: str = "max") -> str:

@@ -21,9 +21,11 @@ from ..circuits.wordlevel import add_words
 from ..core import MchParams, build_dch, build_mch
 from ..mapping import asic_map
 from ..networks import Aig, Mig, Xmg
-from .common import format_table, preoptimize
+from .common import batch_map, format_table, preoptimize
 
 __all__ = ["demo_circuit", "run_fig2", "format_fig2"]
+
+FLOW_ORDER = ["original", "optimized", "dch", "mch"]
 
 
 @dataclass
@@ -45,28 +47,37 @@ def demo_circuit() -> Aig:
     return ntk
 
 
-def run_fig2() -> Dict[str, Fig2Row]:
-    ntk = demo_circuit()
-    out: Dict[str, Fig2Row] = {}
-
-    nl = asic_map(ntk, objective="delay")
-    out["original"] = Fig2Row("original", ntk.num_gates(), 0, nl.area(), nl.delay())
-
-    opt = preoptimize(ntk, rounds=2)
-    nl = asic_map(opt, objective="delay")
-    out["optimized"] = Fig2Row("optimized (traditional)", opt.num_gates(), 0,
-                               nl.area(), nl.delay())
-
-    dch = build_dch([opt, ntk])
-    nl = asic_map(dch, objective="delay")
-    out["dch"] = Fig2Row("DCH for map", dch.ntk.num_gates(), dch.num_choices(),
-                         nl.area(), nl.delay())
-
+def _flow_task(task, ctx):
+    """One of the four demo flows (sharded by ``run_fig2``)."""
+    label, ntk, opt = task
+    if label == "original":
+        nl = asic_map(ntk, objective="delay")
+        return label, Fig2Row("original", ntk.num_gates(), 0, nl.area(), nl.delay())
+    if label == "optimized":
+        nl = asic_map(opt, objective="delay")
+        return label, Fig2Row("optimized (traditional)", opt.num_gates(), 0,
+                              nl.area(), nl.delay())
+    if label == "dch":
+        dch = build_dch([opt, ntk])
+        nl = asic_map(dch, objective="delay")
+        return label, Fig2Row("DCH for map", dch.ntk.num_gates(),
+                              dch.num_choices(), nl.area(), nl.delay())
     mch = build_mch(opt, MchParams(representations=(Mig, Xmg), ratio=0.8))
     nl = asic_map(mch, objective="delay")
-    out["mch"] = Fig2Row("MCH for map", mch.ntk.num_gates(), mch.num_choices(),
-                         nl.area(), nl.delay())
-    return out
+    return label, Fig2Row("MCH for map", mch.ntk.num_gates(),
+                          mch.num_choices(), nl.area(), nl.delay())
+
+
+def run_fig2(jobs: int = 1) -> Dict[str, Fig2Row]:
+    """Run the four demo flows; returns flow label -> row (in figure order).
+
+    The demo circuit and its pre-optimization are computed once and shared
+    by all four tasks.
+    """
+    ntk = demo_circuit()
+    opt = preoptimize(ntk, rounds=2)
+    tasks = [(label, ntk, opt) for label in FLOW_ORDER]
+    return dict(batch_map(tasks, _flow_task, jobs=jobs))
 
 
 def format_fig2(rows: Dict[str, Fig2Row]) -> str:

@@ -30,6 +30,7 @@ from ..mapping import asic_map, graph_map
 from ..networks import Aig, Xag, Xmg
 from .common import (
     Timer,
+    batch_map,
     experiment_context,
     format_table,
     geomean,
@@ -107,17 +108,28 @@ def run_circuit(ntk: Aig, configs: Optional[Sequence[str]] = None,
     return out
 
 
+def _circuit_task(task, ctx):
+    """One Table-I circuit as a batch task (sharded by ``run_table1``)."""
+    name, scale, configs, opt_rounds = task
+    return name, run_circuit(build(name, scale), configs=configs,
+                             opt_rounds=opt_rounds, context=ctx)
+
+
 def run_table1(names: Optional[Sequence[str]] = None, scale: str = "small",
                configs: Optional[Sequence[str]] = None,
-               opt_rounds: int = 2) -> Dict[str, Dict[str, MappingResultRow]]:
-    """Run Table I over the suite; returns circuit -> config -> row."""
+               opt_rounds: int = 2, jobs: int = 1) -> Dict[str, Dict[str, MappingResultRow]]:
+    """Run Table I over the suite; returns circuit -> config -> row.
+
+    ``jobs=1`` threads one engine context across the whole table (the
+    historical behavior); ``jobs>1`` shards circuits across worker
+    processes, each with its own warm context.
+    """
     names = list(names or ALL_BENCHMARKS)
-    results: Dict[str, Dict[str, MappingResultRow]] = {}
-    ctx = experiment_context()   # one engine context across the whole table
-    for name in names:
-        results[name] = run_circuit(build(name, scale), configs=configs,
-                                    opt_rounds=opt_rounds, context=ctx)
-    return results
+    tasks = [(name, scale, tuple(configs) if configs else None, opt_rounds)
+             for name in names]
+    pairs = batch_map(tasks, _circuit_task, jobs=jobs,
+                      context=experiment_context())
+    return dict(pairs)
 
 
 def summarize(results: Dict[str, Dict[str, MappingResultRow]]) -> Dict[str, Dict[str, float]]:

@@ -21,7 +21,7 @@ from ..circuits import build
 from ..core import MchParams, build_mch
 from ..mapping import graph_map_iterate, lut_map
 from ..networks import Aig, Xmg
-from .common import format_table, preoptimize
+from .common import batch_map, experiment_context, format_table, preoptimize
 
 __all__ = ["DEFAULT_CIRCUITS", "run_table2", "format_table2"]
 
@@ -38,34 +38,44 @@ class Table2Row:
     mch_levels: int
 
 
+def _record_task(task, ctx):
+    """One Table-II circuit's challenge protocol as a batch task."""
+    name, scale, k = task
+    ntk = build(name, scale)
+    # our stand-in for the published record: optimize hard, then area-map
+    optimized = graph_map_iterate(preoptimize(ntk, rounds=2, context=ctx), Xmg,
+                                  objective="area", max_rounds=4)
+    best = lut_map(optimized, k=k, objective="area")
+
+    # challenge protocol: strash the record back to a redundant AIG
+    redundant = best.to_logic_network(Aig)
+
+    plain = lut_map(redundant, k=k, objective="area")
+    # wide candidate generation (6-input cuts, larger MFFCs) — the LUT
+    # challenge rewards structure recovery over speed
+    mch = build_mch(redundant, MchParams(
+        representations=(Xmg,), ratio=1.5, cut_size=6,
+        max_cuts_per_node=4, mffc_max_pis=10,
+    ))
+    with_choices = lut_map(mch, k=k, objective="area")
+
+    return name, Table2Row(
+        best_luts=best.num_luts(), best_levels=best.depth(),
+        strash_luts=plain.num_luts(), strash_levels=plain.depth(),
+        mch_luts=with_choices.num_luts(), mch_levels=with_choices.depth(),
+    )
+
+
 def run_table2(names: Optional[Sequence[str]] = None, scale: str = "small",
-               k: int = 6) -> Dict[str, Table2Row]:
-    out: Dict[str, Table2Row] = {}
-    for name in names or DEFAULT_CIRCUITS:
-        ntk = build(name, scale)
-        # our stand-in for the published record: optimize hard, then area-map
-        optimized = graph_map_iterate(preoptimize(ntk, rounds=2), Xmg,
-                                      objective="area", max_rounds=4)
-        best = lut_map(optimized, k=k, objective="area")
+               k: int = 6, jobs: int = 1) -> Dict[str, Table2Row]:
+    """Run the Table-II challenge protocol; returns circuit -> row.
 
-        # challenge protocol: strash the record back to a redundant AIG
-        redundant = best.to_logic_network(Aig)
-
-        plain = lut_map(redundant, k=k, objective="area")
-        # wide candidate generation (6-input cuts, larger MFFCs) — the LUT
-        # challenge rewards structure recovery over speed
-        mch = build_mch(redundant, MchParams(
-            representations=(Xmg,), ratio=1.5, cut_size=6,
-            max_cuts_per_node=4, mffc_max_pis=10,
-        ))
-        with_choices = lut_map(mch, k=k, objective="area")
-
-        out[name] = Table2Row(
-            best_luts=best.num_luts(), best_levels=best.depth(),
-            strash_luts=plain.num_luts(), strash_levels=plain.depth(),
-            mch_luts=with_choices.num_luts(), mch_levels=with_choices.depth(),
-        )
-    return out
+    ``jobs>1`` shards the circuits across worker processes.
+    """
+    tasks = [(name, scale, k) for name in (names or DEFAULT_CIRCUITS)]
+    pairs = batch_map(tasks, _record_task, jobs=jobs,
+                      context=experiment_context())
+    return dict(pairs)
 
 
 def format_table2(rows: Dict[str, Table2Row]) -> str:

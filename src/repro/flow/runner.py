@@ -89,30 +89,28 @@ class FlowRunner:
         return result
 
     def run_many(self, circuits: Iterable, flow: Union[Flow, str],
-                 scale: str = "small") -> Dict[str, FlowResult]:
-        """Run one flow over many circuits, sharing this runner's context.
+                 scale: str = "small", *, jobs: int = 1, store=None,
+                 progress=None) -> Dict[str, FlowResult]:
+        """Run one flow over many circuits; returns ``name -> FlowResult``.
 
         ``circuits`` mixes benchmark names, ``.aag`` paths and network
-        objects; returns an ordered ``name -> FlowResult`` mapping.
+        objects.  The execution is delegated to the batch layer: with
+        ``jobs=1`` every circuit runs in-process against this runner's
+        shared context (the historical semantics); ``jobs>1`` shards the
+        batch across a process pool with one warm context per worker (the
+        returned results then carry rebuilt metrics and no context).
+        ``store`` optionally records the run into a
+        :class:`~repro.batch.store.ResultStore` (or a path); any circuit
+        failure raises — use :class:`~repro.batch.runner.BatchRunner`
+        directly for isolated per-circuit failure reporting.
         """
-        from ..circuits import load
+        from ..batch import BatchRunner
 
-        flow = Flow.of(flow)
-        out: Dict[str, FlowResult] = {}
-        for i, circuit in enumerate(circuits):
-            if isinstance(circuit, (str,)) or hasattr(circuit, "suffix"):
-                name = str(circuit)
-                ntk = load(circuit, scale)
-            else:
-                name = getattr(circuit, "name", "") or f"circuit{i}"
-                ntk = circuit
-            if name in out:   # repeated circuit: keep both results
-                suffix = 2
-                while f"{name}#{suffix}" in out:
-                    suffix += 1
-                name = f"{name}#{suffix}"
-            out[name] = self.run(ntk, flow, name=name)
-        return out
+        runner = BatchRunner(jobs=jobs, context=self.ctx, progress=progress,
+                             verify=self.verify, checkpoint=self.checkpoint,
+                             return_networks=True)
+        batch = runner.run(circuits, Flow.of(flow), scale=scale, store=store)
+        return runner.flow_results(batch)
 
     # -- interpreter ---------------------------------------------------------
 

@@ -21,10 +21,19 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "gates" in out and "adder" in out
 
-    def test_suite(self, capsys):
-        assert main(["suite", "--scale", "tiny"]) == 0
+    def test_suite_lists_manifests(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "epfl-all" in out and "wordlevel-adders" in out
+
+    def test_suite_shows_members(self, capsys):
+        assert main(["suite", "epfl-all", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "voter" in out and "mem_ctrl" in out
+
+    def test_suite_unknown(self):
+        with pytest.raises(SystemExit, match="unknown suite"):
+            main(["suite", "no-such-suite"])
 
     def test_unknown_circuit(self):
         with pytest.raises(SystemExit):
@@ -131,3 +140,55 @@ class TestRunCommand:
                      "--engine-stats"]) == 0
         out = capsys.readouterr().out
         assert "cells" in out and "engine stats" in out
+
+    def test_passes_links_docs(self, capsys):
+        assert main(["passes"]) == 0
+        assert "docs/flow-dsl.md" in capsys.readouterr().out
+
+
+class TestBatchCommand:
+    def test_batch_runs_suite_with_store(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        assert main(["batch", "ctrl,dec", "--script", "b; gm -k 4",
+                     "--scale", "tiny", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "ctrl" in out and "dec" in out and "recorded run" in out
+        assert store.exists()
+
+    def test_batch_parallel_compare_clean(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        args = ["batch", "ctrl,dec", "--script", "b", "--scale", "tiny",
+                "--store", str(store), "--quiet"]
+        assert main(args) == 0
+        assert main(args + ["--jobs", "2", "--compare-to", "latest"]) == 0
+        out = capsys.readouterr().out
+        assert "zero regressions" in out and "speedup" in out
+
+    def test_batch_named_suite(self, capsys):
+        assert main(["batch", "epfl-mini", "--flow", "compress2rs",
+                     "--scale", "tiny", "--quiet"]) == 0
+        assert "epfl-mini" in capsys.readouterr().out
+
+    def test_batch_requires_one_flow_source(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["batch", "ctrl", "--scale", "tiny"])
+
+    def test_batch_unknown_suite(self):
+        with pytest.raises(SystemExit, match="unknown suite"):
+            main(["batch", "nope-suite", "--script", "b"])
+
+    def test_batch_failure_sets_exit_code(self, capsys, tmp_path):
+        aag = tmp_path / "broken.aag"
+        aag.write_text("not an aiger file\n")
+        manifest = tmp_path / "s.json"
+        manifest.write_text(
+            '{"circuits": ["ctrl", "%s"], "scale": "tiny"}' % aag)
+        assert main(["batch", str(manifest), "--script", "b",
+                     "--quiet"]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "ERROR" in out
+
+    def test_batch_compare_needs_store(self):
+        with pytest.raises(SystemExit, match="--compare-to needs --store"):
+            main(["batch", "ctrl", "--script", "b", "--scale", "tiny",
+                  "--compare-to", "latest", "--quiet"])

@@ -1,0 +1,75 @@
+"""The documentation tree stays consistent with the code.
+
+Runs the same checks as ``scripts/check_docs.py`` (CI's docs step) inside
+the tier-1 suite, plus registry-level assertions that the flow-DSL
+reference and the architecture page track the code they document.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = ROOT / "docs"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", ROOT / "scripts" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_tree_exists():
+    for page in ("index.md", "architecture.md", "flow-dsl.md", "batch.md"):
+        assert (DOCS / page).exists(), f"docs/{page} missing"
+
+
+def test_no_broken_links():
+    checker = _load_checker()
+    assert checker.check_links() == []
+    assert checker.check_nav() == []
+
+
+def test_flow_dsl_covers_every_registered_pass():
+    checker = _load_checker()
+    assert checker.check_pass_table() == []
+
+
+def test_flow_dsl_documents_aliases_and_specs():
+    from repro.flow import NAMED_FLOWS, available_passes
+
+    text = (DOCS / "flow-dsl.md").read_text()
+    for name in NAMED_FLOWS:
+        assert f"`{name}`" in text, f"named spec {name} undocumented"
+    for info in available_passes():
+        for alias in info.aliases:
+            assert alias in text, f"alias {alias} of {info.name} undocumented"
+
+
+def test_architecture_names_every_subpackage():
+    import repro
+
+    text = (DOCS / "architecture.md").read_text()
+    pkg_root = Path(repro.__file__).parent
+    for child in sorted(pkg_root.iterdir()):
+        if child.name.startswith("_") or not child.is_dir():
+            continue
+        assert f"`{child.name}/`" in text, (
+            f"src/repro/{child.name}/ missing from the architecture module map")
+
+
+def test_batch_docs_list_every_builtin_suite():
+    from repro.batch import available_suites
+
+    text = (DOCS / "batch.md").read_text()
+    for name in available_suites():
+        assert f"`{name}`" in text, f"built-in suite {name} undocumented"
+
+
+def test_readme_links_the_docs_site():
+    text = (ROOT / "README.md").read_text()
+    assert "docs/architecture.md" in text
+    assert "docs/flow-dsl.md" in text
+    assert "docs/batch.md" in text
