@@ -10,12 +10,19 @@ regressions** of the parallel run against the sequential baseline.  The
 recorded run headers carry both wall times, so the store itself documents
 the parallel speedup.
 
+The parallel run ships its networks to the workers through the flat
+shared-memory path (``transfer="shm"``, see ``docs/batch.md``); a second
+parallel run over the classic pickle path must produce the same
+fingerprints, and the per-circuit serialization stats (flat buffer bytes
+and pack time vs pickle bytes and ``dumps`` time) are recorded alongside.
+
 Results go to ``benchmarks/results/BENCH_batch.json`` (plus the JSONL store
 at ``benchmarks/results/BENCH_batch_store.jsonl``).  Run standalone
 (``python benchmarks/bench_batch.py``) or under pytest.
 """
 
 import json
+import pickle
 import time
 
 import pytest
@@ -23,11 +30,32 @@ import pytest
 from conftest import RESULTS_DIR, SCALE
 
 from repro.batch import BatchRunner, ResultStore, get_suite, state_fingerprint
+from repro.circuits import build
 from repro.flow import FlowContext, FlowRunner
+from repro.networks.flat import FlatNetwork
 
 SUITE = "epfl-mini"
 FLOW = "b; rf; gm -k 4; b"
 JOBS = 2
+
+
+def _payload_stats(names, scale: str) -> dict:
+    """Serialization cost of shipping the suite inputs: flat vs pickle."""
+    nets = [build(name, scale) for name in names]
+    t0 = time.perf_counter()
+    snaps = [FlatNetwork.from_network(n) for n in nets]
+    packed = [(s.header(), s.pack()) for s in snaps]
+    t_pack = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    blobs = [pickle.dumps(n) for n in nets]
+    t_dumps = time.perf_counter() - t0
+    return {
+        "circuits": len(nets),
+        "flat_bytes": sum(len(buf) for _, buf in packed),
+        "pickle_bytes": sum(len(b) for b in blobs),
+        "pack_seconds": round(t_pack, 6),
+        "pickle_dumps_seconds": round(t_dumps, 6),
+    }
 
 
 def measure(scale: str = SCALE) -> dict:
@@ -43,9 +71,11 @@ def measure(scale: str = SCALE) -> dict:
     seq_fps = {name: state_fingerprint(res.network) for name, res in seq.items()}
     seq_run = store.find_run("latest")
 
-    # the parallel path: 2 workers, per-worker contexts
+    # the parallel path: 2 workers, per-worker contexts, shared-memory
+    # network transfer
     t0 = time.perf_counter()
-    batch = BatchRunner(jobs=JOBS).run(suite, FLOW, scale=scale, store=store)
+    batch = BatchRunner(jobs=JOBS, transfer="shm").run(suite, FLOW,
+                                                       scale=scale, store=store)
     t_par = time.perf_counter() - t0
 
     assert not batch.failures, [o.error for o in batch.failures]
@@ -55,18 +85,30 @@ def measure(scale: str = SCALE) -> dict:
     cmp = store.compare(batch.run_id, seq_run)
     assert cmp.ok, f"regressions vs sequential baseline: {cmp.regressions}"
 
+    # same run over the classic pickle transfer — fingerprints must agree
+    t0 = time.perf_counter()
+    pickled = BatchRunner(jobs=JOBS, transfer="pickle").run(suite, FLOW,
+                                                            scale=scale)
+    t_pickle = time.perf_counter() - t0
+    assert not pickled.failures, [o.error for o in pickled.failures]
+    assert {o.name: o.fingerprint for o in pickled.outcomes} == seq_fps, \
+        "pickle-transfer batch diverged from sequential run_many"
+
     return {
         "suite": SUITE,
         "scale": scale,
         "flow": batch.flow,
         "jobs": JOBS,
+        "transfer": batch.transfer,
         "sequential_run": seq_run.run_id,
         "parallel_run": batch.run_id,
         "sequential_seconds": round(t_seq, 6),
         "parallel_seconds": round(t_par, 6),
+        "pickle_transfer_seconds": round(t_pickle, 6),
         "speedup": round(t_seq / t_par, 3) if t_par > 0 else 0.0,
         "bit_identical": True,
         "regressions": len(cmp.regressions),
+        "payload": _payload_stats(suite.names(), scale),
         "circuits": [
             {"circuit": o.name, "size": o.cost[0], "depth": o.cost[1],
              "seconds": round(o.seconds, 6), "fingerprint": o.fingerprint}

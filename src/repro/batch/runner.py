@@ -30,9 +30,39 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 
 from ..flow import Flow, FlowContext, FlowRunner, PassMetrics, resolve_flow
 from ..flow.context import state_cost, state_kind, state_summary
+from ..networks.base import LogicNetwork
+from ..networks.flat import FlatNetwork
 from .suite import Suite, SuiteEntry
 
 __all__ = ["BatchRunner", "BatchResult", "CircuitOutcome", "state_fingerprint"]
+
+
+# ---------------------------------------------------------------------- #
+# zero-copy network transfer                                              #
+# ---------------------------------------------------------------------- #
+
+@dataclass
+class _ShmSpec:
+    """A circuit spec published as a shared-memory flat snapshot.
+
+    Only the tiny header pickles into the worker payload; the buffers live
+    in a parent-owned ``multiprocessing.shared_memory`` block that workers
+    attach, copy out of and close (see ``docs/batch.md``).
+    """
+
+    header: dict
+
+
+def _flat_transferable(ntk) -> bool:
+    """Whether a network can cross processes as a flat snapshot.
+
+    Only exact representation classes qualify: a behavioural subclass (or
+    any class the flat header cannot name) would silently come back as a
+    plain network, so those keep object pickling.
+    """
+    from ..networks import Aig, Mig, MixedNetwork, Xag, Xmg
+
+    return type(ntk) in (Aig, Xag, Mig, Xmg, MixedNetwork, LogicNetwork)
 
 
 # ---------------------------------------------------------------------- #
@@ -92,6 +122,7 @@ class CircuitOutcome:
     worker: int = 0                     # pid of the executing process
     metric_rows: List[tuple] = field(default_factory=list)
     network: Any = None                 # final state (when returned)
+    packed: Any = None                  # (header, payload) flat form in transit
     result: Any = None                  # FlowResult — in-process runs only
 
     @property
@@ -140,6 +171,7 @@ class BatchResult:
     wall_seconds: float = 0.0
     suite: str = ""
     run_id: str = ""                    # set when recorded into a store
+    transfer: str = ""                  # worker transfer mode ("" = in-process)
 
     @property
     def failures(self) -> List[CircuitOutcome]:
@@ -173,7 +205,10 @@ def _init_worker(n_patterns: int, seed: int) -> None:
 
 
 def _build_circuit(spec, scale: str):
-    """Materialize a payload circuit spec (SuiteEntry | name | network)."""
+    """Materialize a payload circuit spec (shm header | SuiteEntry | name |
+    network)."""
+    if isinstance(spec, _ShmSpec):
+        return FlatNetwork.from_shared_memory(spec.header).to_network()
     if isinstance(spec, SuiteEntry):
         return spec.build(scale)
     if isinstance(spec, str):
@@ -211,7 +246,13 @@ def _execute_flow_job(payload: dict, ctx: Optional[FlowContext] = None,
             (m.name, m.script, m.seconds, tuple(m.before), tuple(m.after),
              m.kind_before, m.kind_after) for m in result.metrics]
         if payload.get("return_network", True):
-            outcome.network = result.network
+            net = result.network
+            if payload.get("pack_return") and isinstance(net, LogicNetwork):
+                # ship the flat buffers home instead of an object-graph pickle
+                snap = net.flat
+                outcome.packed = (snap.header(), snap.pack())
+            else:
+                outcome.network = net
         if keep_objects:
             outcome.result = result
     except Exception as exc:             # per-circuit isolation
@@ -240,14 +281,30 @@ class BatchRunner:
     ``jobs>1`` shards across a process pool with one warm per-worker
     context.  ``progress`` is an optional ``callable(done, total, outcome)``
     invoked as results arrive (completion order, not suite order).
+
+    ``transfer`` picks how networks cross the process boundary in pool runs:
+
+    * ``"shm"`` — circuits are built once in the parent and published as
+      flat struct-of-arrays snapshots in ``multiprocessing.shared_memory``;
+      workers attach by name and rebuild from the raw buffers (no network
+      pickling either way — results come home as packed flat buffers too);
+    * ``"pickle"`` — the legacy object-graph pickling on both directions;
+    * ``"auto"`` (default) — named/suite specs stay cheap strings built in
+      the worker, but network *objects* go through shared memory and
+      results come home packed.
+
+    All three are bit-identical: the flat snapshot round-trip is exact, so
+    outcomes (fingerprints included) match the sequential run.
     """
 
     def __init__(self, *, jobs: int = 1, context: Optional[FlowContext] = None,
                  progress: Optional[Callable] = None, verify: bool = False,
                  checkpoint: bool = False, n_patterns: int = 256, seed: int = 1,
-                 return_networks: bool = True):
+                 return_networks: bool = True, transfer: str = "auto"):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if transfer not in ("auto", "shm", "pickle"):
+            raise ValueError(f"transfer must be auto|shm|pickle, got {transfer!r}")
         self.jobs = jobs
         self.ctx = context if context is not None else FlowContext(
             n_patterns=n_patterns, seed=seed)
@@ -257,6 +314,7 @@ class BatchRunner:
         self.n_patterns = n_patterns
         self.seed = seed
         self.return_networks = return_networks
+        self.transfer = transfer
 
     # -- flow batches --------------------------------------------------------
 
@@ -283,14 +341,23 @@ class BatchRunner:
 
         payloads = self._payloads(items, flow_text, scale)
         t0 = time.perf_counter()
-        if self.jobs == 1 or len(payloads) <= 1:
-            outcomes = self._run_sequential(payloads)
-        else:
-            outcomes = self._run_pool(payloads)
+        shm_blocks: List = []
+        pooled = self.jobs > 1 and len(payloads) > 1
+        try:
+            if not pooled:
+                outcomes = self._run_sequential(payloads)
+            else:
+                shm_blocks = self._publish_shm(payloads)
+                outcomes = self._run_pool(payloads)
+        finally:
+            for shm in shm_blocks:   # parent owns every block's lifetime
+                shm.close()
+                shm.unlink()
         result = BatchResult(flow=flow_text, scale=scale, jobs=self.jobs,
                              outcomes=outcomes,
                              wall_seconds=time.perf_counter() - t0,
-                             suite=suite_name)
+                             suite=suite_name,
+                             transfer=self.transfer if pooled else "")
         if store is not None:
             from .store import ResultStore
 
@@ -318,8 +385,42 @@ class BatchRunner:
                              "scale": scale, "flow": flow_text,
                              "verify": self.verify,
                              "checkpoint": self.checkpoint,
-                             "return_network": self.return_networks})
+                             "return_network": self.return_networks,
+                             "pack_return": self.transfer != "pickle"})
         return payloads
+
+    def _publish_shm(self, payloads: List[dict]) -> List:
+        """Lift payload specs into shared-memory flat snapshots.
+
+        Returns the created blocks; the caller closes + unlinks them once
+        the pool is done (workers only ever attach/copy/close).  In
+        ``"auto"`` mode only already-built network objects are lifted — a
+        name or :class:`SuiteEntry` pickles smaller than its circuit, so
+        those still build in the worker.  In ``"shm"`` mode every spec is
+        built in the parent and published; a spec that fails to build (or
+        is not a plain logic network) falls back to its pickled form.
+        """
+        if self.transfer == "pickle":
+            return []
+        blocks: List = []
+        for p in payloads:
+            spec = p["spec"]
+            if isinstance(spec, LogicNetwork) and _flat_transferable(spec):
+                ntk = spec
+            elif self.transfer == "shm" and not isinstance(spec, LogicNetwork):
+                try:
+                    built = _build_circuit(spec, p["scale"])
+                except Exception:
+                    continue             # worker will report the real error
+                if not _flat_transferable(built):
+                    continue
+                ntk = built
+            else:
+                continue
+            shm, header = ntk.flat.to_shared_memory()
+            blocks.append(shm)
+            p["spec"] = _ShmSpec(header)
+        return blocks
 
     def _run_sequential(self, payloads: List[dict]) -> List[CircuitOutcome]:
         outcomes = []
@@ -350,6 +451,10 @@ class BatchRunner:
                             name=payload["name"], index=payload["index"],
                             status="error",
                             error=f"worker failed: {type(exc).__name__}: {exc}")
+                    if outcome.packed is not None:
+                        header, buf = outcome.packed
+                        outcome.network = FlatNetwork.unpack(header, buf).to_network()
+                        outcome.packed = None
                     outcomes[outcome.index] = outcome
                     if self.progress:
                         self.progress(len(outcomes), len(payloads), outcome)

@@ -176,7 +176,7 @@ def cmd_batch(args) -> int:
 
     runner = BatchRunner(jobs=args.jobs, verify=args.verify,
                          progress=progress if not args.quiet else None,
-                         return_networks=False)
+                         return_networks=False, transfer=args.transfer)
     store = ResultStore(args.store) if args.store else None
     batch = runner.run(suite, flow, scale=args.scale, store=store)
     print(batch.table())
@@ -344,6 +344,10 @@ def make_parser() -> argparse.ArgumentParser:
                         "diff against; exits 1 on regressions")
     p.add_argument("--verify", action="store_true",
                    help="CEC every circuit's result against its input")
+    p.add_argument("--transfer", default="auto",
+                   choices=("auto", "shm", "pickle"),
+                   help="how circuits reach pool workers: shared-memory flat "
+                        "buffers, object pickles, or auto (default)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-circuit progress lines")
     p.set_defaults(fn=cmd_batch)

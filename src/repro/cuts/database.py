@@ -30,11 +30,27 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..networks.base import GateType
 from ..truth.truth_table import TruthTable
 from .cut import Cut
-from .enumeration import _expand_bits, _merge_leaves
+from .enumeration import _expand_bits
 
 __all__ = ["CutDatabase", "leaf_signature"]
 
 _VAR1_BITS = 2  # TruthTable.var(1, 0).bits — the single-variable projection
+
+# gate kinds as plain ints (the flat core stores kinds as bytes; comparing
+# against ints keeps IntEnum overhead out of the enumeration loop)
+def _mask_leaves(mask: int) -> Tuple[int, ...]:
+    """The ascending leaf tuple of an exact leaf bitmask."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(out)
+
+
+_CONST = int(GateType.CONST)
+_PI = int(GateType.PI)
+_XOR = int(GateType.XOR)    # kinds <= _XOR with fanins are binary gates
 
 
 def leaf_signature(leaves: Sequence[int]) -> int:
@@ -56,8 +72,8 @@ class CutDatabase:
 
     __slots__ = (
         "ntk", "k", "cut_limit", "network_version",
-        "leaves", "sig", "tt_bits", "tt_vars", "root", "phase", "spans",
-        "stats", "_materialized", "_intern",
+        "leaves", "leaf_mask", "sig", "tt_bits", "tt_vars", "root", "phase",
+        "spans", "stats", "_materialized", "_intern",
     )
 
     def __init__(self, ntk, k: int = 6, cut_limit: int = 8,
@@ -72,6 +88,9 @@ class CutDatabase:
         n_total = ntk.num_nodes()
         # flat per-cut arrays
         self.leaves: List[Tuple[int, ...]] = []
+        #: exact leaf set of each cut as a node-indexed bitmask — the merge
+        #: loop unions / bounds / dominance-tests cuts in single int ops
+        self.leaf_mask: List[int] = []
         self.sig: List[int] = []
         self.tt_bits: List[int] = []
         self.tt_vars: List[int] = []
@@ -81,9 +100,10 @@ class CutDatabase:
         self.spans: List[Tuple[int, int]] = [(0, 0)] * n_total
         self._materialized: List[Optional[List[Cut]]] = [None] * n_total
         self._intern: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
-        # sig_rejections: dominance comparisons settled by the 64-bit
-        # signature alone; subset_checks: comparisons that needed the exact
-        # subset test.  Their sum is the number of pairwise comparisons made.
+        # subset_checks counts pairwise dominance comparisons; each is one
+        # exact bitmask subset test, so sig_rejections (comparisons settled
+        # by the 64-bit Bloom signature alone, before the masks existed) is
+        # retained for record compatibility but always 0.
         self.stats: Dict[str, int] = {
             "nodes": 0, "cuts": 0, "candidates": 0, "dominated": 0,
             "sig_rejections": 0, "subset_checks": 0,
@@ -101,6 +121,20 @@ class CutDatabase:
         k = self.k
         n_total = ntk.num_nodes()
 
+        # the flat struct-of-arrays core: gate kinds and fanin literals as
+        # plain int lists, so the enumeration loop below never touches a
+        # node object or a network method
+        if hasattr(ntk, "flat"):
+            snapshot = ntk.flat
+            kinds = list(snapshot.kind)
+            fanin3 = list(snapshot.fanin)
+        else:  # duck-typed network without the flat core (none in-tree)
+            kinds = [int(ntk.node_type(n)) for n in range(n_total)]
+            fanin3 = []
+            for n in range(n_total):
+                fis = ntk.fanins(n)
+                fanin3 += (fis + (0, 0, 0))[:3]
+
         todo = None
         if nodes is not None:
             if choices is not None:
@@ -116,6 +150,7 @@ class CutDatabase:
 
         # local aliases for the hot loop
         flat_leaves = self.leaves
+        flat_mask = self.leaf_mask
         flat_sig = self.sig
         flat_bits = self.tt_bits
         flat_vars = self.tt_vars
@@ -135,10 +170,11 @@ class CutDatabase:
                 continue
             stats["nodes"] += 1
             start = len(flat_leaves)
-            t = ntk.node_type(node)
-            if t == GateType.CONST:
+            t = kinds[node]
+            if t == _CONST:
                 empty = intern.setdefault((), ())
                 flat_leaves.append(empty)
+                flat_mask.append(0)
                 flat_sig.append(0)
                 flat_bits.append(0)
                 flat_vars.append(0)
@@ -146,78 +182,79 @@ class CutDatabase:
                 flat_phase.append(False)
                 spans[node] = (start, len(flat_leaves))
                 continue
-            if t == GateType.PI:
+            if t == _PI:
                 self._append_trivial(node)
                 spans[node] = (start, len(flat_leaves))
                 continue
 
-            fis = ntk.fanins(node)
+            base = 3 * node
+            if t <= _XOR:   # binary gate kinds (AND, XOR)
+                fis = (fanin3[base], fanin3[base + 1])
+            else:           # ternary gate kinds (MAJ, XOR3)
+                fis = (fanin3[base], fanin3[base + 1], fanin3[base + 2])
             fanin_phases = [f & 1 for f in fis]
             fanin_ranges = [spans[f >> 1] for f in fis]
 
-            # -- candidate merge (leaf sets only, truth tables deferred) --
+            # -- candidate merge on exact leaf bitmasks --
+            # a cut's leaf set is one node-indexed bitmask, so the union is
+            # one ``|``, the k-bound one popcount and duplicate detection one
+            # set probe — no per-leaf tuple walking until a cut survives
             seen = set()
-            cand: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = []
+            cand: List[Tuple[int, Tuple[int, ...]]] = []
             if len(fis) == 2:
                 (s0, e0), (s1, e1) = fanin_ranges
                 for i0 in range(s0, e0):
-                    l0 = flat_leaves[i0]
+                    m0 = flat_mask[i0]
                     for i1 in range(s1, e1):
-                        merged = _merge_leaves(l0, flat_leaves[i1], k)
-                        if merged is None or merged in seen:
+                        merged = m0 | flat_mask[i1]
+                        if merged.bit_count() > k or merged in seen:
                             continue
                         seen.add(merged)
                         cand.append((merged, (i0, i1)))
             else:
                 (s0, e0), (s1, e1), (s2, e2) = fanin_ranges
                 for i0 in range(s0, e0):
-                    l0 = flat_leaves[i0]
+                    m0 = flat_mask[i0]
                     for i1 in range(s1, e1):
-                        m01 = _merge_leaves(l0, flat_leaves[i1], k)
-                        if m01 is None:
+                        m01 = m0 | flat_mask[i1]
+                        if m01.bit_count() > k:
                             continue
                         for i2 in range(s2, e2):
-                            merged = _merge_leaves(m01, flat_leaves[i2], k)
-                            if merged is None or merged in seen:
+                            merged = m01 | flat_mask[i2]
+                            if merged.bit_count() > k or merged in seen:
                                 continue
                             seen.add(merged)
                             cand.append((merged, (i0, i1, i2)))
             stats["candidates"] += len(cand)
 
-            # -- signature-prefiltered dominance, smallest cuts first --
-            cand.sort(key=lambda c: len(c[0]))
-            kept: List[Tuple[Tuple[int, ...], Tuple[int, ...], int]] = []
-            kept_sets: List[frozenset] = []
-            sig_rejections = subset_checks = 0
-            for leaves, ids in cand:
+            # -- exact dominance on the masks, smallest cuts first --
+            cand.sort(key=lambda c: c[0].bit_count())
+            kept: List[Tuple[int, Tuple[int, ...]]] = []
+            subset_checks = 0
+            for mask, ids in cand:
                 if len(kept) >= limit:
                     break
-                sig = 0
-                for i in ids:
-                    sig |= flat_sig[i]
-                not_sig = ~sig
+                not_mask = ~mask
                 dominated = False
-                for j, (_, _, fsig) in enumerate(kept):
-                    if fsig & not_sig:
-                        # some leaf of the kept cut is provably absent
-                        sig_rejections += 1
-                        continue
+                for kmask, _ in kept:
                     subset_checks += 1
-                    if kept_sets[j].issubset(leaves):
+                    if not kmask & not_mask:   # kept leaves ⊆ candidate leaves
                         dominated = True
                         break
                 if dominated:
                     stats["dominated"] += 1
                     continue
-                kept.append((leaves, ids, sig))
-                kept_sets.append(frozenset(leaves))
-            stats["sig_rejections"] += sig_rejections
+                kept.append((mask, ids))
             stats["subset_checks"] += subset_checks
 
             # -- truth tables, only for the survivors --
-            for leaves, ids, sig in kept:
+            for lmask, ids in kept:
+                leaves = _mask_leaves(lmask)
+                sig = 0
+                for i in ids:
+                    sig |= flat_sig[i]
                 nv = len(leaves)
-                mask = (1 << (1 << nv)) - 1
+                full = (1 << (1 << nv)) - 1
                 pos_of = {leaf: i for i, leaf in enumerate(leaves)}
                 vals = []
                 for i, ph in zip(ids, fanin_phases):
@@ -225,10 +262,11 @@ class CutDatabase:
                     positions = tuple(pos_of[x] for x in cl)
                     bits = _expand_bits(flat_bits[i], positions, nv)
                     if ph:
-                        bits ^= mask
+                        bits ^= full
                     vals.append(bits)
-                out = self._apply_gate(t, vals) & mask
+                out = self._apply_gate(t, vals) & full
                 flat_leaves.append(intern.setdefault(leaves, leaves))
+                flat_mask.append(lmask)
                 flat_sig.append(sig)
                 flat_bits.append(out)
                 flat_vars.append(nv)
@@ -259,6 +297,7 @@ class CutDatabase:
                     if ch_phase:
                         bits ^= (1 << (1 << flat_vars[i])) - 1
                     flat_leaves.append(flat_leaves[i])
+                    flat_mask.append(flat_mask[i])
                     flat_sig.append(flat_sig[i])
                     flat_bits.append(bits)
                     flat_vars.append(flat_vars[i])
@@ -271,6 +310,7 @@ class CutDatabase:
     def _append_trivial(self, node: int) -> None:
         leaves = self._intern.setdefault((node,), (node,))
         self.leaves.append(leaves)
+        self.leaf_mask.append(1 << node)
         self.sig.append(1 << (node & 63))
         self.tt_bits.append(_VAR1_BITS)
         self.tt_vars.append(1)

@@ -137,8 +137,7 @@ class FlowContext:
         self.metrics: List[PassMetrics] = []
         self.checkpoints: Dict[str, Any] = {}
         self._pools: Dict[int, Any] = {}      # n_pis -> PatternPool
-        self._eq_sessions: "OrderedDict[Tuple[int, int], Any]" = OrderedDict()
-        self._eq_keepalive: Dict[int, Any] = {}
+        self._eq_sessions: "OrderedDict[str, Any]" = OrderedDict()
         self._npn_caches: Dict[type, Any] = {}
         self._mapping_subjects: List[Any] = []   # subjects seen (for stats)
 
@@ -178,21 +177,23 @@ class FlowContext:
     def equivalence_session(self, ntk):
         """An :class:`EquivalenceSession` of ``ntk`` over the shared pool.
 
-        Cached per network snapshot (object identity + structural version)
-        so repeated queries against one network reuse the Tseitin encoding.
+        Cached per flat structural hash (:meth:`LogicNetwork.structural_hash`
+        — a cheap content hash of the snapshot buffers), so repeated queries
+        against one network reuse the Tseitin encoding, and structurally
+        identical network *objects* — e.g. a copy round-tripped through the
+        flat buffers or rebuilt by a worker — share one session too.  Equal
+        hashes imply identical node numbering, so solver state computed
+        against the cached reference is valid for ``ntk``.
         """
         from ..sat.session import EquivalenceSession
 
-        key = (id(ntk), ntk.version)
+        key = ntk.structural_hash()
         session = self._eq_sessions.get(key)
         if session is None:
             session = EquivalenceSession(ntk, pool=self.pool_for(ntk))
             self._eq_sessions[key] = session
-            self._eq_keepalive[id(ntk)] = ntk   # pin: ids must not be recycled
             while len(self._eq_sessions) > self.EQ_SESSION_LIMIT:
-                old_key, _ = self._eq_sessions.popitem(last=False)
-                if not any(k[0] == old_key[0] for k in self._eq_sessions):
-                    self._eq_keepalive.pop(old_key[0], None)
+                self._eq_sessions.popitem(last=False)
         else:
             self._eq_sessions.move_to_end(key)
         return session

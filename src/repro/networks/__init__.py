@@ -1,6 +1,7 @@
 """Logic-network representations (AIG, XAG, MIG, XMG, mixed)."""
 
 from .base import GateType, LogicNetwork, lit, lit_node, lit_not, lit_phase, rep_view
+from .flat import FlatNetwork
 from .aig import Aig
 from .xag import Xag
 from .mig import Mig
@@ -18,6 +19,7 @@ __all__ = [
     "lit_not",
     "lit_phase",
     "rep_view",
+    "FlatNetwork",
     "Aig",
     "Xag",
     "Mig",

@@ -80,6 +80,7 @@ class LogicNetwork:
         self._fanout_cache: Optional[Tuple[int, List[List[int]]]] = None
         self._fanout_count_cache: Optional[Tuple[int, List[int]]] = None
         self._topo_cache: Optional[Tuple[int, List[int]]] = None
+        self._flat_cache: Optional[Tuple[int, object]] = None
 
     # ------------------------------------------------------------------ #
     # cache maintenance                                                   #
@@ -92,6 +93,43 @@ class LogicNetwork:
 
     def _touch(self) -> None:
         self._version += 1
+
+    @property
+    def flat(self) -> "FlatNetwork":
+        """The flat struct-of-arrays snapshot of this network.
+
+        Memoized per structural version: hot consumers (cut enumeration,
+        Tseitin encoding, shared-memory transfer, structural hashing) of an
+        unchanged network share one :class:`~repro.networks.flat.FlatNetwork`
+        core.  Treat the snapshot as read-only.
+        """
+        cached = self._flat_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        from .flat import FlatNetwork
+
+        snapshot = FlatNetwork.from_network(self)
+        self._flat_cache = (self._version, snapshot)
+        return snapshot
+
+    def structural_hash(self) -> str:
+        """Cheap content hash of the DAG (via the flat core; version-cached).
+
+        Networks with equal hashes are structurally identical — same node
+        numbering, gates and POs — so caches keyed on this hash (e.g. the
+        flow context's equivalence sessions) can serve rebuilt-but-identical
+        networks without re-encoding.
+        """
+        return self.flat.structural_hash()
+
+    def __getstate__(self) -> dict:
+        """Pickle without derived caches (they rebuild lazily on demand)."""
+        state = self.__dict__.copy()
+        state["_fanout_cache"] = None
+        state["_fanout_count_cache"] = None
+        state["_topo_cache"] = None
+        state["_flat_cache"] = None
+        return state
 
     # ------------------------------------------------------------------ #
     # basic structure                                                     #

@@ -114,7 +114,8 @@ def cec(a: LogicNetwork, b: LogicNetwork, sim_limit: int = 12,
         return CecResult(True, method="exhaustive simulation")
 
     if session is not None:
-        if session.networks[0] is not a:
+        ref = session.networks[0]
+        if ref is not a and ref.structural_hash() != a.structural_hash():
             raise ValueError("injected session must encode the reference network")
         pool = session.pool
     elif pool is None:
@@ -125,7 +126,9 @@ def cec(a: LogicNetwork, b: LogicNetwork, sim_limit: int = 12,
 
     if session is None:
         session = EquivalenceSession(a, pool=pool)
-    ib = next((i for i, n in enumerate(session.networks) if n is b), None)
+    hb = b.structural_hash()
+    ib = next((i for i, n in enumerate(session.networks)
+               if n is b or n.structural_hash() == hb), None)
     if ib is None:   # not already encoded (e.g. a cec pass then --verify)
         ib = session.add_network(b)
 

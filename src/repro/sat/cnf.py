@@ -3,6 +3,15 @@
 Consumers normally do not use this directly any more: an
 :class:`~repro.sat.session.EquivalenceSession` owns one builder, encodes each
 network once and answers every subsequent query incrementally.
+
+The encoder walks the network's flat struct-of-arrays snapshot
+(:class:`~repro.networks.flat.FlatNetwork`): gate kinds and fanin literals
+come straight out of contiguous buffers, so clause emission touches no node
+objects.  Variable numbering and clause order are exactly those of the
+original object-walking encoder — one variable for the constant node, one per
+PI in creation order, then one per gate in topological order, with the gate
+clauses in fixed per-kind order — so encodings (and therefore solver
+behaviour) are bit-identical.
 """
 
 from __future__ import annotations
@@ -10,8 +19,14 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..networks.base import GateType, LogicNetwork
+from ..networks.flat import FlatNetwork
 
 __all__ = ["CnfBuilder"]
+
+_AND = int(GateType.AND)
+_XOR = int(GateType.XOR)
+_MAJ = int(GateType.MAJ)
+_XOR3 = int(GateType.XOR3)
 
 
 class CnfBuilder:
@@ -32,59 +47,78 @@ class CnfBuilder:
     def add_clause(self, lits: List[int]) -> None:
         self.clauses.append(list(lits))
 
-    def encode(self, ntk: LogicNetwork, pi_vars: Dict[int, int] = None) -> Tuple[Dict[int, int], List[int]]:
-        """Encode a network; returns (node→var map, PO signed literals)."""
+    def encode(self, ntk, pi_vars: Dict[int, int] = None) -> Tuple[Dict[int, int], List[int]]:
+        """Encode a network; returns (node→var map, PO signed literals).
+
+        ``ntk`` may be a :class:`LogicNetwork` (its cached flat snapshot is
+        used) or a :class:`FlatNetwork` directly — batch workers that receive
+        flat buffers can encode without rebuilding node objects.
+        """
+        snap = ntk if isinstance(ntk, FlatNetwork) else ntk.flat
+        clauses = self.clauses
+        nv = self.num_vars
         var_of: Dict[int, int] = {}
-        const_var = self.new_var()
-        self.add_clause([-const_var])  # node 0 is constant false
-        var_of[0] = const_var
-        for i, n in enumerate(ntk.pis):
+        nv += 1
+        clauses.append([-nv])  # node 0 is constant false
+        var_of[0] = nv
+        for i, n in enumerate(snap.pis):
             if pi_vars is not None and i in pi_vars:
                 var_of[n] = pi_vars[i]
             else:
-                var_of[n] = self.new_var()
-
-        def sl(literal: int) -> int:
-            v = var_of[literal >> 1]
-            return -v if literal & 1 else v
-
-        for n in ntk.gates():
-            out = self.new_var()
+                nv += 1
+                var_of[n] = nv
+        kinds = snap.kind
+        fan = snap.fanin
+        for n, t in enumerate(kinds):
+            if t < _AND:
+                continue  # PI / constant
+            nv += 1
+            out = nv
             var_of[n] = out
-            fis = [sl(f) for f in ntk.fanins(n)]
-            t = ntk.node_type(n)
-            if t == GateType.AND:
-                a, b = fis
-                self.add_clause([-out, a])
-                self.add_clause([-out, b])
-                self.add_clause([out, -a, -b])
-            elif t == GateType.XOR:
-                a, b = fis
-                self.add_clause([-out, a, b])
-                self.add_clause([-out, -a, -b])
-                self.add_clause([out, -a, b])
-                self.add_clause([out, a, -b])
-            elif t == GateType.MAJ:
-                a, b, c = fis
-                self.add_clause([-out, a, b])
-                self.add_clause([-out, a, c])
-                self.add_clause([-out, b, c])
-                self.add_clause([out, -a, -b])
-                self.add_clause([out, -a, -c])
-                self.add_clause([out, -b, -c])
-            elif t == GateType.XOR3:
-                a, b, c = fis
+            base = 3 * n
+            f = fan[base]
+            v = var_of[f >> 1]
+            a = -v if f & 1 else v
+            f = fan[base + 1]
+            v = var_of[f >> 1]
+            b = -v if f & 1 else v
+            if t == _AND:
+                clauses.append([-out, a])
+                clauses.append([-out, b])
+                clauses.append([out, -a, -b])
+            elif t == _XOR:
+                clauses.append([-out, a, b])
+                clauses.append([-out, -a, -b])
+                clauses.append([out, -a, b])
+                clauses.append([out, a, -b])
+            elif t == _MAJ:
+                f = fan[base + 2]
+                v = var_of[f >> 1]
+                c = -v if f & 1 else v
+                clauses.append([-out, a, b])
+                clauses.append([-out, a, c])
+                clauses.append([-out, b, c])
+                clauses.append([out, -a, -b])
+                clauses.append([out, -a, -c])
+                clauses.append([out, -b, -c])
+            elif t == _XOR3:
+                f = fan[base + 2]
+                v = var_of[f >> 1]
+                c = -v if f & 1 else v
                 # out = a ^ b ^ c: forbid all even-parity mismatches
-                self.add_clause([-out, a, b, c])
-                self.add_clause([-out, -a, -b, c])
-                self.add_clause([-out, -a, b, -c])
-                self.add_clause([-out, a, -b, -c])
-                self.add_clause([out, -a, b, c])
-                self.add_clause([out, a, -b, c])
-                self.add_clause([out, a, b, -c])
-                self.add_clause([out, -a, -b, -c])
+                clauses.append([-out, a, b, c])
+                clauses.append([-out, -a, -b, c])
+                clauses.append([-out, -a, b, -c])
+                clauses.append([-out, a, -b, -c])
+                clauses.append([out, -a, b, c])
+                clauses.append([out, a, -b, c])
+                clauses.append([out, a, b, -c])
+                clauses.append([out, -a, -b, -c])
             else:
-                raise ValueError(f"cannot encode gate type {t}")
-
-        po_lits = [sl(p) for p in ntk.pos]
+                raise ValueError(f"cannot encode gate type {GateType(t)}")
+        self.num_vars = nv
+        po_lits = []
+        for p in snap.pos:
+            v = var_of[p >> 1]
+            po_lits.append(-v if p & 1 else v)
         return var_of, po_lits

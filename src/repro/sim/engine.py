@@ -10,9 +10,9 @@ One service replaces the private signature/simulation code that ``cec``,
   FRAIG-style sim/SAT refinement loop).
 * :class:`SimEngine` — per-network simulation state over a pool.  The
   network is compiled once into a small *program*: gate operations batched
-  by level and gate type, with complement masks applied branchlessly, so
-  the hot loop is plain tuple unpacking and integer ops over arbitrarily
-  wide words.  Refreshes are incremental: new patterns re-simulate only the
+  by level and gate type, complements applied only where a fanin is
+  actually inverted, so the hot loop is plain tuple unpacking and integer
+  ops over arbitrarily wide words.  Refreshes are incremental: new patterns re-simulate only the
   appended columns, new nodes (networks are append-only DAGs) re-simulate
   only the dirty suffix.
 * :func:`simulate_words` — the one-shot front used by
@@ -30,11 +30,23 @@ from typing import Dict, List, Optional, Sequence
 
 from ..networks.base import GateType
 
-__all__ = ["PatternPool", "SimEngine", "simulate_words", "sim_stats", "reset_sim_stats"]
+try:                                    # numpy accelerates wide simulations;
+    import numpy as _np                 # the integer path below is complete
+except ImportError:                     # without it (results are identical)
+    _np = None
+
+__all__ = ["PatternPool", "SimEngine", "simulate_words", "simulate_blocks",
+           "sim_stats", "reset_sim_stats"]
+
+#: flat gate kinds are plain ints ordered (CONST, PI, AND, XOR, MAJ, XOR3),
+#: so a program opcode is just ``kind - _GATE_MIN``
+_GATE_MIN = int(GateType.AND)
+_XOR = int(GateType.XOR)
 
 _STAT_KEYS = (
     "programs_built", "program_nodes", "full_sims", "pattern_incr_sims",
-    "node_incr_sims", "oneshot_sims", "patterns_added", "cex_recycled",
+    "node_incr_sims", "oneshot_sims", "block_sims", "patterns_added",
+    "cex_recycled",
 )
 
 _GLOBAL_STATS: Dict[str, int] = {k: 0 for k in _STAT_KEYS}
@@ -94,14 +106,15 @@ class PatternPool:
 class _Program:
     """A network compiled for simulation: per-level, per-gate-type op lists.
 
-    Entry formats (complement flags are 0/1; ``mask & -flag`` applies them
-    branchlessly):  AND/XOR: ``(node, a, ac, b, bc)``;
+    Entry formats (complement flags are 0/1, applied by a flag-guarded XOR
+    with the mask):  AND/XOR: ``(node, a, ac, b, bc)``;
     MAJ/XOR3: ``(node, a, ac, b, bc, c, cc)``.
     ``flat`` holds ``(opcode, entry)`` in node order for dirty-suffix
     re-simulation.
     """
 
-    __slots__ = ("levels", "flat", "flat_nodes", "built_nodes")
+    __slots__ = ("levels", "flat", "flat_nodes", "built_nodes",
+                 "_block_levels", "_block_built")
 
     def __init__(self):
         self.levels: List[tuple] = []
@@ -109,49 +122,200 @@ class _Program:
         #: node id per flat entry (ascending) — for dirty-suffix lookups
         self.flat_nodes: List[int] = []
         self.built_nodes = 0
+        #: per-level numpy index arrays for the uint64 block path (lazy)
+        self._block_levels = None
+        self._block_built = 0
 
     def extend(self, ntk) -> None:
-        types = ntk._types
-        fanins = ntk._fanins
-        node_levels = ntk._levels
+        """Append program entries for nodes created since the last build.
+
+        From-scratch builds iterate the network's flat snapshot — plain-int
+        gate kinds and a contiguous fanin-literal array, so the opcode is
+        ``kind - 2`` and no node objects are touched.  Incremental extends
+        walk only the appended suffix of the builder lists, which keeps
+        re-simulation O(delta) instead of re-snapshotting the network.
+        """
         levels = self.levels
         flat = self.flat
         start = self.built_nodes
-        for n in range(start, len(types)):
-            t = types[n]
-            if t == GateType.AND or t == GateType.XOR:
-                a, b = fanins[n]
-                entry = (n, a >> 1, a & 1, b >> 1, b & 1)
-                op = 0 if t == GateType.AND else 1
-            elif t == GateType.MAJ or t == GateType.XOR3:
-                a, b, c = fanins[n]
-                entry = (n, a >> 1, a & 1, b >> 1, b & 1, c >> 1, c & 1)
-                op = 2 if t == GateType.MAJ else 3
-            else:
-                continue  # PI / constant
-            lv = node_levels[n]
-            while len(levels) <= lv:
-                levels.append(([], [], [], []))
-            levels[lv][op].append(entry)
-            flat.append((op, entry))
-            self.flat_nodes.append(n)
-        _GLOBAL_STATS["program_nodes"] += len(types) - start
-        self.built_nodes = len(types)
+        end = ntk.num_nodes()
+        if start == 0:
+            snap = ntk.flat
+            kinds = snap.kind
+            fan = snap.fanin
+            node_levels = snap.level
+            for n in range(end):
+                t = kinds[n]
+                if t < _GATE_MIN:
+                    continue  # PI / constant
+                base = 3 * n
+                a = fan[base]
+                b = fan[base + 1]
+                if t <= _XOR:
+                    entry = (n, a >> 1, a & 1, b >> 1, b & 1)
+                else:
+                    c = fan[base + 2]
+                    entry = (n, a >> 1, a & 1, b >> 1, b & 1, c >> 1, c & 1)
+                op = t - _GATE_MIN
+                lv = node_levels[n]
+                while len(levels) <= lv:
+                    levels.append(([], [], [], []))
+                levels[lv][op].append(entry)
+                flat.append((op, entry))
+                self.flat_nodes.append(n)
+        else:
+            types = ntk._types
+            fanins = ntk._fanins
+            node_levels = ntk._levels
+            for n in range(start, end):
+                t = types[n]
+                if t == GateType.AND or t == GateType.XOR:
+                    a, b = fanins[n]
+                    entry = (n, a >> 1, a & 1, b >> 1, b & 1)
+                    op = 0 if t == GateType.AND else 1
+                elif t == GateType.MAJ or t == GateType.XOR3:
+                    a, b, c = fanins[n]
+                    entry = (n, a >> 1, a & 1, b >> 1, b & 1, c >> 1, c & 1)
+                    op = 2 if t == GateType.MAJ else 3
+                else:
+                    continue  # PI / constant
+                lv = node_levels[n]
+                while len(levels) <= lv:
+                    levels.append(([], [], [], []))
+                levels[lv][op].append(entry)
+                flat.append((op, entry))
+                self.flat_nodes.append(n)
+        _GLOBAL_STATS["program_nodes"] += end - start
+        self.built_nodes = end
 
     def run(self, vals: List[int], mask: int) -> None:
-        """Evaluate all gates into ``vals`` (PIs/constants already set)."""
+        """Evaluate all gates into ``vals`` (PIs/constants already set).
+
+        Complements branch on the 0/1 flag instead of XOR-ing a zero mask:
+        at wide pool widths every full-width big-int op costs a word-sized
+        copy, so skipping the no-op XORs beats branchless arithmetic.
+        """
         for ands, xors, majs, xor3s in self.levels:
             for n, a, ac, b, bc in ands:
-                vals[n] = (vals[a] ^ (mask & -ac)) & (vals[b] ^ (mask & -bc))
+                x = vals[a]
+                if ac:
+                    x = x ^ mask
+                y = vals[b]
+                if bc:
+                    y = y ^ mask
+                vals[n] = x & y
             for n, a, ac, b, bc in xors:
-                vals[n] = vals[a] ^ vals[b] ^ (mask & -(ac ^ bc))
+                if ac ^ bc:
+                    vals[n] = vals[a] ^ vals[b] ^ mask
+                else:
+                    vals[n] = vals[a] ^ vals[b]
             for n, a, ac, b, bc, c, cc in majs:
-                x = vals[a] ^ (mask & -ac)
-                y = vals[b] ^ (mask & -bc)
-                z = vals[c] ^ (mask & -cc)
+                x = vals[a]
+                if ac:
+                    x = x ^ mask
+                y = vals[b]
+                if bc:
+                    y = y ^ mask
+                z = vals[c]
+                if cc:
+                    z = z ^ mask
                 vals[n] = (x & y) | (x & z) | (y & z)
             for n, a, ac, b, bc, c, cc in xor3s:
-                vals[n] = vals[a] ^ vals[b] ^ vals[c] ^ (mask & -(ac ^ bc ^ cc))
+                if ac ^ bc ^ cc:
+                    vals[n] = vals[a] ^ vals[b] ^ vals[c] ^ mask
+                else:
+                    vals[n] = vals[a] ^ vals[b] ^ vals[c]
+
+    # -- vectorized uint64 block execution ---------------------------------
+
+    def block_program(self):
+        """Per-level numpy index/complement arrays (rebuilt after extends).
+
+        Each level yields four optional entries (AND, XOR, MAJ, XOR3):
+        column-index arrays into the ``(nodes, words)`` value matrix plus
+        0/1 complement columns shaped for broadcasting against the mask
+        words, so one level executes as a handful of whole-array ops.
+        """
+        if self._block_built == self.built_nodes and self._block_levels is not None:
+            return self._block_levels
+        out = []
+        for ands, xors, majs, xor3s in self.levels:
+            lv = []
+            for op, entries in enumerate((ands, xors, majs, xor3s)):
+                if not entries:
+                    lv.append(None)
+                    continue
+                arr = _np.asarray(entries, dtype=_np.int64)
+                n, a, ac, b, bc = (arr[:, j] for j in range(5))
+                if op < 2:
+                    if op == 0:       # AND: rows whose fanin is complemented
+                        lv.append((n, a, b,
+                                   _np.flatnonzero(ac), _np.flatnonzero(bc)))
+                    else:             # XOR: rows with odd parity
+                        lv.append((n, a, b, _np.flatnonzero(ac ^ bc)))
+                else:
+                    c, cc = arr[:, 5], arr[:, 6]
+                    if op == 2:       # MAJ
+                        lv.append((n, a, b, c, _np.flatnonzero(ac),
+                                   _np.flatnonzero(bc), _np.flatnonzero(cc)))
+                    else:             # XOR3: rows with odd parity
+                        lv.append((n, a, b, c,
+                                   _np.flatnonzero(ac ^ bc ^ cc)))
+            out.append(lv)
+        self._block_levels = out
+        self._block_built = self.built_nodes
+        return out
+
+    def run_block(self, vals, mask_words) -> None:
+        """Evaluate all gates on a ``(nodes, words)`` uint64 value matrix.
+
+        ``mask_words`` is the valid-bits mask as little-endian uint64 words;
+        complements are applied by XOR-ing the mask into the pre-indexed
+        complemented rows, which matches the integer path bit for bit.
+        """
+        for ands, xors, majs, xor3s in self.block_program():
+            if ands is not None:
+                n, a, b, ai, bi = ands
+                x = vals[a]
+                if ai.size:
+                    x[ai] ^= mask_words
+                y = vals[b]
+                if bi.size:
+                    y[bi] ^= mask_words
+                x &= y
+                vals[n] = x
+            if xors is not None:
+                n, a, b, pi = xors
+                x = vals[a]
+                x ^= vals[b]
+                if pi.size:
+                    x[pi] ^= mask_words
+                vals[n] = x
+            if majs is not None:
+                n, a, b, c, ai, bi, ci = majs
+                x = vals[a]
+                if ai.size:
+                    x[ai] ^= mask_words
+                y = vals[b]
+                if bi.size:
+                    y[bi] ^= mask_words
+                z = vals[c]
+                if ci.size:
+                    z[ci] ^= mask_words
+                t = x & y
+                x &= z
+                t |= x
+                y &= z
+                t |= y
+                vals[n] = t
+            if xor3s is not None:
+                n, a, b, c, pi = xor3s
+                x = vals[a]
+                x ^= vals[b]
+                x ^= vals[c]
+                if pi.size:
+                    x[pi] ^= mask_words
+                vals[n] = x
 
     def run_suffix(self, vals: List[int], mask: int, start_index: int) -> None:
         """Evaluate only the gates at flat positions >= ``start_index``.
@@ -162,19 +326,37 @@ class _Program:
         for op, entry in self.flat[start_index:]:
             if op == 0:
                 n, a, ac, b, bc = entry
-                vals[n] = (vals[a] ^ (mask & -ac)) & (vals[b] ^ (mask & -bc))
+                x = vals[a]
+                if ac:
+                    x = x ^ mask
+                y = vals[b]
+                if bc:
+                    y = y ^ mask
+                vals[n] = x & y
             elif op == 1:
                 n, a, ac, b, bc = entry
-                vals[n] = vals[a] ^ vals[b] ^ (mask & -(ac ^ bc))
+                if ac ^ bc:
+                    vals[n] = vals[a] ^ vals[b] ^ mask
+                else:
+                    vals[n] = vals[a] ^ vals[b]
             elif op == 2:
                 n, a, ac, b, bc, c, cc = entry
-                x = vals[a] ^ (mask & -ac)
-                y = vals[b] ^ (mask & -bc)
-                z = vals[c] ^ (mask & -cc)
+                x = vals[a]
+                if ac:
+                    x = x ^ mask
+                y = vals[b]
+                if bc:
+                    y = y ^ mask
+                z = vals[c]
+                if cc:
+                    z = z ^ mask
                 vals[n] = (x & y) | (x & z) | (y & z)
             else:
                 n, a, ac, b, bc, c, cc = entry
-                vals[n] = vals[a] ^ vals[b] ^ vals[c] ^ (mask & -(ac ^ bc ^ cc))
+                if ac ^ bc ^ cc:
+                    vals[n] = vals[a] ^ vals[b] ^ vals[c] ^ mask
+                else:
+                    vals[n] = vals[a] ^ vals[b] ^ vals[c]
 
 
 #: one-shot program cache: network -> (_Program, flat gate count list not needed)
@@ -192,23 +374,93 @@ def _program_for(ntk) -> _Program:
     return prog
 
 
-def simulate_words(ntk, pi_patterns: Sequence[int], mask: int) -> List[int]:
+def _run_block_full(prog: _Program, ntk, pi_words: Sequence[int],
+                    mask: int) -> List[int]:
+    """Full simulation through the numpy block path; returns packed ints.
+
+    The value matrix is ``(nodes, words)`` little-endian uint64; PI rows are
+    exploded from the packed stimulus ints and the result rows are packed
+    back, so callers see exactly the integer-path output.
+    """
+    n_words = (mask.bit_length() + 63) // 64 or 1
+    nbytes = n_words * 8
+    vals = _np.zeros((ntk.num_nodes(), n_words), dtype="<u8")
+    pis = ntk._pis
+    if pis:
+        pi_buf = b"".join((pi_words[i] & mask).to_bytes(nbytes, "little")
+                          for i in range(len(pis)))
+        vals[pis] = _np.frombuffer(pi_buf, dtype="<u8").reshape(len(pis), n_words)
+    mask_words = _np.frombuffer(mask.to_bytes(nbytes, "little"), dtype="<u8")
+    prog.run_block(vals, mask_words)
+    mv = memoryview(vals.tobytes())
+    _GLOBAL_STATS["block_sims"] += 1
+    return [int.from_bytes(mv[i * nbytes:(i + 1) * nbytes], "little")
+            for i in range(vals.shape[0])]
+
+
+def simulate_words(ntk, pi_patterns: Sequence[int], mask: int, *,
+                   block: bool = False) -> List[int]:
     """One-shot bit-parallel simulation; returns one packed word per node.
 
     This is the engine behind
     :meth:`repro.networks.base.LogicNetwork.simulate_patterns`; the compiled
     program is cached per network, so repeated one-shot calls only pay for
-    the integer ops.
+    the word-parallel gate ops.
+
+    ``block=True`` routes through the vectorized uint64 numpy backend
+    (bit-identical output).  It is opt-in because for packed-int callers the
+    integer program is the faster default on CPython — big-int bitwise ops
+    already run as C loops over the whole word, and the numpy detour adds an
+    int↔uint64 conversion per node.  Callers whose stimulus already lives in
+    numpy should use :func:`simulate_blocks` instead, which skips the
+    conversions entirely.
     """
     pis = ntk._pis
     if len(pi_patterns) != len(pis):
         raise ValueError("pattern count must equal PI count")
     prog = _program_for(ntk)
+    _GLOBAL_STATS["oneshot_sims"] += 1
+    if block and _np is not None:
+        return _run_block_full(prog, ntk, pi_patterns, mask)
     vals = [0] * ntk.num_nodes()
     for i, n in enumerate(pis):
         vals[n] = pi_patterns[i] & mask
     prog.run(vals, mask)
-    _GLOBAL_STATS["oneshot_sims"] += 1
+    return vals
+
+
+def simulate_blocks(ntk, pi_blocks, mask_words=None):
+    """Bit-parallel simulation on uint64 blocks, numpy-native end to end.
+
+    ``pi_blocks`` is a ``(num_pis, words)`` array-like of little-endian
+    uint64 stimulus words (row ``i`` drives PI ``i``; bit ``j`` of the
+    flattened row is pattern ``j``); ``mask_words`` optionally masks the
+    valid bits (default: all bits valid).  Returns the full ``(nodes,
+    words)`` value matrix — bit-identical to packing the rows into ints and
+    calling :func:`simulate_words`.
+
+    This is the entry point for bulk workloads that keep stimulus and
+    signatures in numpy: it runs the per-level uint64 block program with no
+    int↔array conversion on either side.  Requires numpy.
+    """
+    if _np is None:
+        raise RuntimeError("simulate_blocks requires numpy")
+    pi_blocks = _np.ascontiguousarray(pi_blocks, dtype="<u8")
+    pis = ntk._pis
+    if pi_blocks.ndim != 2 or pi_blocks.shape[0] != len(pis):
+        raise ValueError("pi_blocks must be shaped (num_pis, words)")
+    n_words = pi_blocks.shape[1]
+    if mask_words is None:
+        mask_words = _np.full(n_words, 0xFFFFFFFFFFFFFFFF, dtype="<u8")
+    else:
+        mask_words = _np.ascontiguousarray(mask_words, dtype="<u8")
+        pi_blocks = pi_blocks & mask_words
+    prog = _program_for(ntk)
+    vals = _np.zeros((ntk.num_nodes(), n_words), dtype="<u8")
+    if pis:
+        vals[pis] = pi_blocks
+    prog.run_block(vals, mask_words)
+    _GLOBAL_STATS["block_sims"] += 1
     return vals
 
 

@@ -121,6 +121,30 @@ class TestBatchRunner:
                [(o.name, o.cost, o.fingerprint) for o in seq.outcomes]
         assert all(o.worker for o in par.outcomes)
 
+    @pytest.mark.skipif(not _FORK, reason="process-pool test needs fork")
+    def test_parallel_shm_transfer_bit_identical(self):
+        """The shared-memory path reproduces the sequential run exactly."""
+        seq = BatchRunner(jobs=1).run(MINI, FLOW, scale="tiny")
+        shm = BatchRunner(jobs=2, transfer="shm").run(MINI, FLOW, scale="tiny")
+        assert shm.transfer == "shm"
+        assert [(o.name, o.cost, o.fingerprint) for o in shm.outcomes] == \
+               [(o.name, o.cost, o.fingerprint) for o in seq.outcomes]
+        # result networks ride back as flat buffers, rebuilt in the parent
+        assert all(o.network is not None for o in shm.outcomes)
+        assert all(o.packed is None for o in shm.outcomes)
+
+    @pytest.mark.skipif(not _FORK, reason="process-pool test needs fork")
+    def test_parallel_pickle_transfer_still_works(self):
+        pick = BatchRunner(jobs=2, transfer="pickle").run(MINI, FLOW,
+                                                          scale="tiny")
+        auto = BatchRunner(jobs=2).run(MINI, FLOW, scale="tiny")
+        assert [(o.name, o.cost, o.fingerprint) for o in pick.outcomes] == \
+               [(o.name, o.cost, o.fingerprint) for o in auto.outcomes]
+
+    def test_transfer_mode_validated(self):
+        with pytest.raises(ValueError):
+            BatchRunner(transfer="carrier-pigeon")
+
     def test_network_objects_and_dedup(self):
         ntk = build("dec", "tiny")
         batch = BatchRunner().run(["ctrl", ntk, "ctrl"], "b", scale="tiny")

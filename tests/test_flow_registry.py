@@ -247,7 +247,7 @@ class TestNestedContext:
         ctx = FlowContext()
         ntk = build("mem_ctrl", "tiny")       # > 12 PIs: SAT territory
         FlowRunner(ctx).run(ntk, "b; cec; rf; cec")
-        sessions = [k for k in ctx._eq_sessions if k[0] == id(ntk)]
+        sessions = [k for k in ctx._eq_sessions if k == ntk.structural_hash()]
         assert len(sessions) == 1, "both cec passes must share one encoding"
 
     def test_run_many_keeps_repeated_circuits(self):
@@ -259,5 +259,6 @@ class TestNestedContext:
         ntk = build("mem_ctrl", "tiny")
         out = FlowRunner(ctx).run(ntk, "b").network
         assert bool(ctx.cec(ntk, out)) and bool(ctx.cec(ntk, out))
-        (session,) = [s for k, s in ctx._eq_sessions.items() if k[0] == id(ntk)]
+        (session,) = [s for k, s in ctx._eq_sessions.items()
+                      if k == ntk.structural_hash()]
         assert len(session.networks) == 2, "identical check must reuse the encoding"
