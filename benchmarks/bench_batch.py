@@ -15,6 +15,10 @@ shared-memory path (``transfer="shm"``, see ``docs/batch.md``); a second
 parallel run over the classic pickle path must produce the same
 fingerprints, and the per-circuit serialization stats (flat buffer bytes
 and pack time vs pickle bytes and ``dumps`` time) are recorded alongside.
+A final leg resumes the parallel run's workload (``resume=True`` over the
+same store): every circuit must be skipped via its ``ok`` record under
+the shared run key, with fingerprints intact — measuring the fixed cost
+of restarting a finished run.
 
 Results go to ``benchmarks/results/BENCH_batch.json`` (plus the JSONL store
 at ``benchmarks/results/BENCH_batch_store.jsonl``).  Run standalone
@@ -94,6 +98,20 @@ def measure(scale: str = SCALE) -> dict:
     assert {o.name: o.fingerprint for o in pickled.outcomes} == seq_fps, \
         "pickle-transfer batch diverged from sequential run_many"
 
+    # the resume path: re-running the parallel run's workload must skip
+    # every circuit (all ok under the same run key) yet still yield the
+    # same fingerprints — the cost of "nothing to do" is the store read
+    t0 = time.perf_counter()
+    resumed = BatchRunner(jobs=JOBS, transfer="shm").run(
+        suite, FLOW, scale=scale, store=store, resume=True)
+    t_resume = time.perf_counter() - t0
+    assert not resumed.failures
+    resume_skipped = len(resumed.resumed)
+    assert resume_skipped == len(suite), \
+        f"resume re-ran circuits: skipped only {resume_skipped}/{len(suite)}"
+    assert {o.name: o.fingerprint for o in resumed.outcomes} == seq_fps, \
+        "resumed batch diverged from sequential run_many"
+
     return {
         "suite": SUITE,
         "scale": scale,
@@ -105,6 +123,8 @@ def measure(scale: str = SCALE) -> dict:
         "sequential_seconds": round(t_seq, 6),
         "parallel_seconds": round(t_par, 6),
         "pickle_transfer_seconds": round(t_pickle, 6),
+        "resume_seconds": round(t_resume, 6),
+        "resume_skipped": resume_skipped,
         "speedup": round(t_seq / t_par, 3) if t_par > 0 else 0.0,
         "bit_identical": True,
         "regressions": len(cmp.regressions),

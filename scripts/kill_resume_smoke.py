@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke — the ROADMAP exit criterion, as a CI step.
+
+Starts a 2-worker batch over ``epfl-mini`` in a child process (every
+circuit slowed by an injected hang so the kill lands mid-suite), SIGKILLs
+the child once at least two circuits have finished, reaps the orphaned
+workers, resumes the run over the same store with ``resume=True``, and
+asserts:
+
+* the interrupted run left a durable, *partial* prefix (not closed);
+* the resume skipped exactly the completed circuits;
+* the union of results is **bit-identical** to an uninterrupted reference
+  run — ``store.compare()`` reports zero regressions and zero fingerprint
+  divergences.
+
+Usage::
+
+    PYTHONPATH=src python scripts/kill_resume_smoke.py [workdir]
+
+Exits non-zero (with a diagnostic) on any violated property.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.batch import (      # noqa: E402  (path bootstrap above)
+    BatchRunner,
+    EventLog,
+    ResultStore,
+    get_suite,
+    read_events,
+)
+
+SUITE = "epfl-mini"
+FLOW = "b; rf"
+
+_CHILD = """
+import sys
+from repro.batch import BatchRunner, Fault, FaultPlan, JsonlEventSink, \\
+    ResultStore, get_suite
+
+store, events = sys.argv[1], sys.argv[2]
+suite = get_suite("{suite}")
+runner = BatchRunner(jobs=2, events=JsonlEventSink(events),
+                     faults=FaultPlan({{n: Fault("hang", seconds=0.8)
+                                        for n in suite.names()}}))
+runner.run(suite, {flow!r}, scale="tiny", store=ResultStore(store))
+""".format(suite=SUITE, flow=FLOW)
+
+
+def fail(msg: str) -> None:
+    print(f"KILL-RESUME SMOKE FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(tempfile.mkdtemp(prefix="kill_resume_smoke_"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    store_path = workdir / "store.jsonl"
+    events_path = workdir / "events.jsonl"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+
+    print(f"[1/4] starting 2-worker batch (store={store_path}) ...")
+    proc = subprocess.Popen([sys.executable, "-c", _CHILD, str(store_path),
+                             str(events_path)], env=env)
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                fail(f"child finished (rc={proc.returncode}) before the "
+                     f"kill could land — hang injection not slowing it?")
+            if events_path.exists():
+                finished = sum(e["kind"] == "finished"
+                               for e in read_events(events_path))
+                if finished >= 2:
+                    break
+            time.sleep(0.05)
+        else:
+            fail("child made no observable progress in 120s")
+        print(f"[2/4] {finished} circuits finished — SIGKILL the runner")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(30)
+        # reap the workers the SIGKILLed parent could not shut down
+        for e in (read_events(events_path) if events_path.exists() else []):
+            if e.get("worker") and e["worker"] != proc.pid:
+                try:
+                    os.kill(e["worker"], signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+
+    store = ResultStore(store_path)
+    runs = store.runs()
+    if not runs:
+        fail("the killed run left no store header at all")
+    interrupted = runs[-1]
+    if interrupted.closed:
+        fail("the killed run reads back as closed")
+    done = [c for c, r in interrupted.results.items()
+            if r.get("status") == "ok"]
+    total = len(get_suite(SUITE))
+    if not 0 < len(done) < total:
+        fail(f"expected a partial prefix, got {len(done)}/{total} circuits")
+    print(f"[3/4] durable prefix: {len(done)}/{total} circuits — resuming")
+
+    log = EventLog()
+    resumed = BatchRunner(jobs=2, events=log).run(
+        get_suite(SUITE), FLOW, scale="tiny", store=store, resume=True)
+    if resumed.failures:
+        fail(f"resume produced failures: "
+             f"{[(o.name, o.status) for o in resumed.failures]}")
+    skipped = [e.circuit for e in log.only("skipped")]
+    if sorted(skipped) != sorted(done):
+        fail(f"resume skipped {sorted(skipped)}, expected {sorted(done)}")
+
+    print("[4/4] comparing against an uninterrupted reference run")
+    # a separate store: sharing one would share the run key and the
+    # reference run would itself resume instead of executing
+    ref_store = ResultStore(workdir / "reference.jsonl")
+    ref = BatchRunner(jobs=2).run(get_suite(SUITE), FLOW, scale="tiny",
+                                  store=ref_store)
+    if ref.failures:
+        fail("the reference run itself failed")
+    cmp = store.compare(store.find_run(resumed.run_id),
+                        ref_store.find_run(ref.run_id))
+    print(cmp.format())
+    if cmp.regressions:
+        fail(f"{len(cmp.regressions)} regression(s) vs the reference run")
+    if cmp.divergences:
+        fail(f"{len(cmp.divergences)} fingerprint divergence(s) vs the "
+             f"reference run")
+    fps = {o.name: o.fingerprint for o in resumed.outcomes}
+    ref_fps = {o.name: o.fingerprint for o in ref.outcomes}
+    if fps != ref_fps:
+        fail("resumed fingerprints differ from the reference run")
+    print(f"kill-and-resume smoke OK: killed at {len(done)}/{total}, "
+          f"resumed {total - len(done)}, bit-identical to the reference")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,13 +7,26 @@ suite-throughput machine, in three pieces:
   (the EPFL-analogue evaluation suites, generated word-level families,
   user TOML/JSON manifests);
 * :mod:`~repro.batch.runner` — :class:`BatchRunner`: shards a suite across
-  a process pool (per-worker warm :class:`~repro.flow.context.FlowContext`,
-  deterministic result ordering, per-circuit wall-time and metric capture,
-  graceful failure isolation) or runs it in-process when ``jobs=1``;
+  a *supervised* worker pool (per-worker warm
+  :class:`~repro.flow.context.FlowContext`, deterministic result ordering,
+  per-circuit wall-time and metric capture) or runs it in-process when
+  ``jobs=1``.  Fault tolerant: per-circuit hard timeouts kill (never join)
+  hung workers, crashed workers cost exactly one ``crashed`` outcome and
+  are replaced, and ``retries`` re-runs transient failures with
+  exponential backoff;
 * :mod:`~repro.batch.store` — :class:`ResultStore`: an append-only JSONL
-  log of runs keyed by flow script + circuit + git revision, with
-  :meth:`~repro.batch.store.ResultStore.compare` for regression deltas
-  against a baseline run.
+  log of runs, written *incrementally* (one fsynced line per circuit) so
+  interrupted runs leave a resumable prefix.  Runs carry a stable
+  :func:`~repro.batch.store.run_key` (flow + suite + scale + input
+  fingerprints): ``run(..., resume=True)`` skips circuits already ``ok``
+  under the key, and ``cooperate=True`` claims circuits through the store
+  so several runner processes share one suite.
+  :meth:`~repro.batch.store.ResultStore.compare` diffs runs bit-for-bit;
+* :mod:`~repro.batch.events` — :class:`RunEvent` progress stream
+  (``started`` / ``retried`` / ``crashed`` / ``finished`` / …) through a
+  pluggable sink;
+* :mod:`~repro.batch.faults` — :class:`FaultPlan` chaos injection for
+  exercising all of the above.
 
 Quickstart::
 
@@ -34,7 +47,9 @@ The CLI fronts this with ``repro suite`` (list/show manifests) and
 
 from .suite import Suite, SuiteEntry, available_suites, get_suite
 from .runner import BatchResult, BatchRunner, CircuitOutcome, state_fingerprint
-from .store import Comparison, ResultStore, RunInfo, git_revision
+from .store import Comparison, ResultStore, RunInfo, git_revision, run_key
+from .events import EventLog, JsonlEventSink, RunEvent, read_events
+from .faults import Fault, FaultPlan, TransientFault
 
 __all__ = [
     "Suite",
@@ -49,4 +64,12 @@ __all__ = [
     "RunInfo",
     "Comparison",
     "git_revision",
+    "run_key",
+    "RunEvent",
+    "EventLog",
+    "JsonlEventSink",
+    "read_events",
+    "Fault",
+    "FaultPlan",
+    "TransientFault",
 ]

@@ -1,0 +1,132 @@
+"""Progress events — the observable life of a batch run.
+
+The runner narrates every circuit's life cycle through a pluggable sink:
+a plain callable invoked with one :class:`RunEvent` per transition.  The
+stream is the integration point the serve daemon and the watch TUI both
+consume (see ROADMAP) — and what the kill-and-resume smoke reads to find
+worker pids.
+
+Event kinds:
+
+========== ==============================================================
+``started``  a circuit was dispatched to a worker (``worker`` = pid)
+``finished`` a circuit produced its final outcome (``status`` ok/error)
+``retried``  a failed/crashed attempt was requeued (``attempt`` is the
+             attempt that failed; ``detail`` says why and when it re-runs)
+``timeout``  the circuit exceeded the hard per-circuit timeout and its
+             worker was killed
+``crashed``  the worker process died mid-circuit and retries were
+             exhausted (or disabled)
+``skipped``  a resumed run found an ``ok`` record under the same run key
+             and did not re-execute the circuit
+``claimed``  a cooperating runner holds the circuit's claim, so this
+             runner yielded it
+========== ==============================================================
+
+A sink that raises does not kill the run — the runner catches and warns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Union
+
+__all__ = ["RunEvent", "EventLog", "JsonlEventSink", "EVENT_KINDS",
+           "read_events"]
+
+#: every event kind the runner emits, in rough life-cycle order
+EVENT_KINDS = ("started", "finished", "retried", "timeout", "crashed",
+               "skipped", "claimed")
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One batch-run transition (see the module docstring for kinds)."""
+
+    kind: str
+    circuit: str
+    index: int
+    attempt: int = 1
+    status: str = ""                    # final status, on terminal events
+    seconds: float = 0.0                # elapsed wall time, where known
+    worker: int = 0                     # pid of the worker involved
+    detail: str = ""                    # human-readable context
+    at: float = 0.0                     # epoch timestamp (set by the runner)
+
+    def to_dict(self) -> dict:
+        """The JSON-serializable form of this event."""
+        d = asdict(self)
+        d["seconds"] = round(d["seconds"], 6)
+        return d
+
+
+class EventLog:
+    """A list-collecting event sink — handy for tests and UIs.
+
+    Call the instance with events (it is itself a sink); read them back
+    via :attr:`events`, :meth:`kinds` or :meth:`only`.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[RunEvent] = []
+
+    def __call__(self, event: RunEvent) -> None:
+        """Record one event (the sink protocol)."""
+        self.events.append(event)
+
+    def kinds(self) -> List[str]:
+        """The event kinds seen, in arrival order."""
+        return [e.kind for e in self.events]
+
+    def only(self, kind: str) -> List[RunEvent]:
+        """The recorded events of one kind, in arrival order."""
+        return [e for e in self.events if e.kind == kind]
+
+
+class JsonlEventSink:
+    """An event sink appending one flushed+fsynced JSON line per event.
+
+    Durable by construction: a reader (or a post-mortem after a kill)
+    sees every event that was emitted before the writer died, which is
+    how the kill-and-resume smoke finds the worker pids it must clean up.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+
+    def __call__(self, event: RunEvent) -> None:
+        """Append one event line (the sink protocol)."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_events(path: Union[str, Path]) -> List[dict]:
+    """Read a :class:`JsonlEventSink` file back as dicts, tolerating a
+    truncated final line (the writer may have died mid-append)."""
+    out: List[dict] = []
+    lines = Path(path).read_text().splitlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            out.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                continue
+            raise
+    return out

@@ -1,0 +1,99 @@
+"""Fault injection — chaos hooks for exercising the batch runner.
+
+A :class:`FaultPlan` maps circuit names to injected failures; the runner
+ships the plan to its workers inside each job payload, and
+``_execute_flow_job`` triggers the fault just before building the circuit.
+Three modes cover the failure classes a long suite run actually hits:
+
+* ``"raise"`` — raise :class:`TransientFault` (an ordinary per-circuit
+  error: isolated, retryable);
+* ``"hang"``  — sleep past the per-circuit timeout (the worker must be
+  *killed*, not joined);
+* ``"exit"``  — ``os._exit`` the worker process mid-circuit (the hard
+  crash: no exception, no result, a dead pipe).
+
+``times`` bounds the injection to the first N attempts, which is how the
+tests model *transient* failures: attempt 1 faults, the retry succeeds.
+
+This module is test/benchmark infrastructure — nothing in the production
+path imports it unless a plan is actually installed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Union
+
+__all__ = ["Fault", "FaultPlan", "TransientFault", "FAULT_MODES"]
+
+#: the supported injection modes
+FAULT_MODES = ("raise", "hang", "exit")
+
+
+class TransientFault(RuntimeError):
+    """An injected failure that a bounded retry is expected to cure."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected failure: a mode plus its knobs.
+
+    ``times=0`` injects on every attempt; ``times=N`` only on the first N
+    attempts (so retry N+1 succeeds).  ``seconds`` is the hang duration;
+    ``exit_code`` the ``os._exit`` status of a crash.
+    """
+
+    mode: str
+    times: int = 0
+    seconds: float = 3600.0
+    exit_code: int = 13
+
+    def __post_init__(self):
+        if self.mode not in FAULT_MODES:
+            raise ValueError(f"fault mode must be one of {FAULT_MODES}, "
+                             f"got {self.mode!r}")
+
+
+class FaultPlan:
+    """Circuit-name → :class:`Fault` mapping, picklable into job payloads.
+
+    Values may be :class:`Fault` instances or bare mode strings::
+
+        FaultPlan({"dec": "exit", "ctrl": Fault("raise", times=1)})
+    """
+
+    def __init__(self, faults: Dict[str, Union[Fault, str]]):
+        self.faults: Dict[str, Fault] = {
+            name: fault if isinstance(fault, Fault) else Fault(mode=fault)
+            for name, fault in faults.items()
+        }
+
+    def to_payload(self) -> dict:
+        """The tiny picklable form shipped inside job payloads."""
+        return {name: (f.mode, f.times, f.seconds, f.exit_code)
+                for name, f in self.faults.items()}
+
+
+def apply_fault(payload: dict, circuit: str, attempt: int) -> None:
+    """Trigger the planned fault for ``circuit`` on this ``attempt``.
+
+    ``payload`` is a :meth:`FaultPlan.to_payload` dict.  Raising faults
+    raise :class:`TransientFault`; hangs sleep (then return, so a run
+    *without* a timeout still completes, just late); exits never return.
+    """
+    spec = payload.get(circuit)
+    if spec is None:
+        return
+    mode, times, seconds, exit_code = spec
+    if times and attempt > times:
+        return
+    if mode == "raise":
+        raise TransientFault(
+            f"injected fault on {circuit!r} (attempt {attempt})")
+    if mode == "hang":
+        time.sleep(seconds)
+        return
+    if mode == "exit":
+        os._exit(exit_code)

@@ -1,40 +1,69 @@
-"""BatchRunner — shard suite execution across a process pool.
+"""BatchRunner — fault-tolerant suite execution across supervised workers.
 
 The runner turns a :class:`~repro.batch.suite.Suite` (or any circuit list)
 plus one flow script into per-circuit jobs and executes them either
 in-process (``jobs=1`` — one shared :class:`~repro.flow.context.FlowContext`,
-exactly the semantics of ``FlowRunner.run_many``) or across a
-``ProcessPoolExecutor`` (``jobs>1`` — one *per-worker* context built by the
-pool initializer, so shared engines stay warm within each worker while
-workers proceed independently).
+exactly the semantics of ``FlowRunner.run_many``) or across a supervised
+pool of worker processes (``jobs>1`` — one *per-worker* warm context, one
+duplex pipe per worker, every circuit pinned to the worker executing it).
 
 Guarantees:
 
 * **deterministic ordering** — outcomes come back in suite order regardless
-  of which worker finished first;
+  of which worker finished first (and regardless of dispatch order);
 * **failure isolation** — a circuit whose flow raises produces an ``error``
   outcome (message + traceback) and the rest of the suite still runs;
+* **fault tolerance** — because each circuit is pinned to exactly one
+  worker, a worker that dies mid-circuit produces exactly one ``crashed``
+  outcome (with its elapsed wall time and pid) and a replacement worker is
+  spawned — nothing cascades to pending circuits.  A circuit exceeding the
+  hard per-circuit ``timeout`` gets its worker *killed* (never joined) and
+  a ``timeout`` outcome.  ``retries`` re-runs failed/crashed circuits with
+  exponential backoff for transient failures;
+* **resumability** — a :func:`~repro.batch.store.run_key` identifies the
+  workload; ``run(..., resume=True)`` skips circuits that already have
+  ``ok`` records under the same key and copies them forward, so a killed
+  run restarted over the same store converges to bit-identical results;
+* **cooperation** — ``run(..., cooperate=True)`` claims each circuit
+  through the store's append-only JSONL before dispatching it, letting
+  multiple runner processes share one suite without duplicated work;
 * **reproducibility metadata** — every outcome carries wall time, cost
   before/after, pass count and a structural fingerprint
   (:func:`state_fingerprint`) so two runs can be diffed bit-for-bit by
   :meth:`~repro.batch.store.ResultStore.compare`.
+
+A pluggable event sink (:class:`~repro.batch.events.RunEvent`) narrates
+``started`` / ``retried`` / ``timeout`` / ``crashed`` / ``finished`` /
+``skipped`` / ``claimed`` transitions — the hook the serve daemon and the
+watch TUI consume.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import time
 import traceback as _traceback
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..flow import Flow, FlowContext, FlowRunner, PassMetrics, resolve_flow
 from ..flow.context import state_cost, state_kind, state_summary
 from ..networks.base import LogicNetwork
 from ..networks.flat import FlatNetwork
+from .events import RunEvent
 from .suite import Suite, SuiteEntry
 
 __all__ = ["BatchRunner", "BatchResult", "CircuitOutcome", "state_fingerprint"]
+
+#: outcome statuses that count as failures of the run
+_FAILURE_STATUSES = ("error", "crashed", "timeout")
+
+#: outcome statuses recorded into a result store
+_RECORDED_STATUSES = ("ok",) + _FAILURE_STATUSES
 
 
 # ---------------------------------------------------------------------- #
@@ -99,17 +128,46 @@ def state_fingerprint(state) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
+def _spec_fingerprint(spec, scale: str) -> str:
+    """A stable content key for one circuit spec — the run-key input.
+
+    Suite entries fingerprint themselves; network objects use their
+    structural fingerprint; ``.aag`` paths hash the file; registry names
+    are keyed by name + scale (the generators are deterministic).
+    """
+    if isinstance(spec, _ShmSpec):
+        return f"shm:{spec.header.get('rep')}:{spec.header.get('n')}"
+    if isinstance(spec, SuiteEntry):
+        return spec.fingerprint(scale)
+    if isinstance(spec, LogicNetwork):
+        return "net:" + state_fingerprint(spec)
+    text = str(spec)
+    if text.endswith(".aag"):
+        try:
+            digest = hashlib.sha256(Path(text).read_bytes()).hexdigest()[:16]
+            return f"file:{digest}"
+        except OSError:
+            return f"file:{text}"
+    return f"bench:{text}@{scale}"
+
+
 # ---------------------------------------------------------------------- #
 # outcomes                                                                #
 # ---------------------------------------------------------------------- #
 
 @dataclass
 class CircuitOutcome:
-    """What happened to one circuit of a batch run."""
+    """What happened to one circuit of a batch run.
+
+    ``status`` is one of ``ok`` (flow completed), ``error`` (the flow
+    raised), ``crashed`` (the worker process died mid-circuit), ``timeout``
+    (the circuit exceeded the hard per-circuit timeout and its worker was
+    killed) or ``claimed`` (a cooperating runner holds the circuit).
+    """
 
     name: str
     index: int
-    status: str = "ok"                  # "ok" | "error"
+    status: str = "ok"
     seconds: float = 0.0
     kind: str = ""                      # final state kind
     before: tuple = ()                  # (size, depth) of the input
@@ -120,6 +178,8 @@ class CircuitOutcome:
     error: str = ""
     traceback: str = ""
     worker: int = 0                     # pid of the executing process
+    attempts: int = 1                   # execution attempts (1 = no retries)
+    resumed_from: str = ""              # run id the record was resumed from
     metric_rows: List[tuple] = field(default_factory=list)
     network: Any = None                 # final state (when returned)
     packed: Any = None                  # (header, payload) flat form in transit
@@ -128,6 +188,12 @@ class CircuitOutcome:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def failed(self) -> bool:
+        """Whether this outcome counts as a run failure (``claimed`` and
+        resumed outcomes do not)."""
+        return self.status in _FAILURE_STATUSES
 
     def to_record(self) -> dict:
         """The JSON-serializable store record of this outcome."""
@@ -148,16 +214,22 @@ class CircuitOutcome:
             rec["fingerprint"] = self.fingerprint
         if self.error:
             rec["error"] = self.error
+        if self.attempts > 1:
+            rec["attempts"] = self.attempts
+        if self.resumed_from:
+            rec["resumed_from"] = self.resumed_from
         return rec
 
     def row(self) -> List:
         if not self.ok:
-            return [self.name, "ERROR", "-", "-", round(self.seconds, 3),
-                    self.error.split("\n")[0][:50]]
+            return [self.name, self.status.upper(), "-", "-",
+                    round(self.seconds, 3), self.error.split("\n")[0][:50]]
         size, depth = self.cost
         fmt = lambda v: int(v) if float(v).is_integer() else round(v, 2)
+        note = self.summary if not self.resumed_from else \
+            f"resumed from {self.resumed_from}"
         return [self.name, "ok", fmt(size), fmt(depth),
-                round(self.seconds, 3), self.summary]
+                round(self.seconds, 3), note]
 
 
 @dataclass
@@ -171,11 +243,17 @@ class BatchResult:
     wall_seconds: float = 0.0
     suite: str = ""
     run_id: str = ""                    # set when recorded into a store
+    run_key: str = ""                   # stable workload identity
     transfer: str = ""                  # worker transfer mode ("" = in-process)
 
     @property
     def failures(self) -> List[CircuitOutcome]:
-        return [o for o in self.outcomes if not o.ok]
+        return [o for o in self.outcomes if o.failed]
+
+    @property
+    def resumed(self) -> List[CircuitOutcome]:
+        """Outcomes copied forward from prior runs under the same run key."""
+        return [o for o in self.outcomes if o.resumed_from]
 
     def by_name(self) -> Dict[str, CircuitOutcome]:
         return {o.name: o for o in self.outcomes}
@@ -221,16 +299,20 @@ def _build_circuit(spec, scale: str):
 def _execute_flow_job(payload: dict, ctx: Optional[FlowContext] = None,
                       keep_objects: bool = False) -> CircuitOutcome:
     """Run one circuit's flow; never raises — failures become outcomes."""
-    import os
-
     if ctx is None:
         ctx = _WORKER_CTX
         if ctx is None:                  # pool without initializer (jobs=1 path)
             ctx = FlowContext()
     outcome = CircuitOutcome(name=payload["name"], index=payload["index"],
-                             worker=os.getpid())
+                             worker=os.getpid(),
+                             attempts=payload.get("attempt", 1))
     t0 = time.perf_counter()
     try:
+        plan = payload.get("faults")
+        if plan:
+            from .faults import apply_fault
+
+            apply_fault(plan, payload["name"], payload.get("attempt", 1))
         ntk = _build_circuit(payload["spec"], payload["scale"])
         outcome.before = state_cost(ntk)
         runner = FlowRunner(ctx, verify=payload.get("verify", False),
@@ -270,6 +352,42 @@ def _execute_map_job(payload: tuple):
     return index, fn(task, ctx)
 
 
+def _worker_main(conn, n_patterns: int, seed: int) -> None:
+    """Supervised pool worker: receive payloads, execute, send outcomes.
+
+    The loop ends on a ``None`` payload (orderly shutdown) or a dead pipe
+    (the supervisor went away).  ``_execute_flow_job`` never raises, so
+    the only ways a worker dies mid-circuit are real crashes — which is
+    exactly what the supervisor's pipe-EOF detection is for.
+    """
+    _init_worker(n_patterns, seed)
+    while True:
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        if payload is None:
+            break
+        outcome = _execute_flow_job(payload)
+        try:
+            conn.send(outcome)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _PoolWorker:
+    """Supervisor-side handle of one worker process."""
+
+    __slots__ = ("proc", "conn", "payload", "started")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.payload: Optional[dict] = None   # the in-flight job, if any
+        self.started: float = 0.0             # monotonic dispatch time
+
+
 # ---------------------------------------------------------------------- #
 # the runner                                                              #
 # ---------------------------------------------------------------------- #
@@ -278,33 +396,50 @@ class BatchRunner:
     """Execute flows (or arbitrary per-task functions) over circuit sets.
 
     ``jobs=1`` runs in-process against ``context`` (or a fresh one);
-    ``jobs>1`` shards across a process pool with one warm per-worker
-    context.  ``progress`` is an optional ``callable(done, total, outcome)``
-    invoked as results arrive (completion order, not suite order).
+    ``jobs>1`` shards across a supervised worker pool with one warm
+    per-worker context.  ``progress`` is an optional
+    ``callable(done, total, outcome)`` invoked as results arrive
+    (completion order, not suite order); ``events`` is an optional sink
+    receiving :class:`~repro.batch.events.RunEvent` transitions.
 
-    ``transfer`` picks how networks cross the process boundary in pool runs:
+    Fault tolerance (pool runs):
 
-    * ``"shm"`` — circuits are built once in the parent and published as
-      flat struct-of-arrays snapshots in ``multiprocessing.shared_memory``;
-      workers attach by name and rebuild from the raw buffers (no network
-      pickling either way — results come home as packed flat buffers too);
-    * ``"pickle"`` — the legacy object-graph pickling on both directions;
-    * ``"auto"`` (default) — named/suite specs stay cheap strings built in
-      the worker, but network *objects* go through shared memory and
-      results come home packed.
+    * ``timeout`` — hard per-circuit wall-clock limit in seconds; a worker
+      exceeding it is SIGKILLed and replaced, the circuit becomes a
+      ``timeout`` outcome (in-process runs cannot be killed, so ``jobs=1``
+      ignores it);
+    * ``retries`` — extra attempts for ``error`` and ``crashed`` circuits,
+      delayed by ``backoff * 2**(attempt-1)`` seconds;
+    * a worker that dies mid-circuit yields exactly one ``crashed``
+      outcome (elapsed time + pid); pending circuits are unaffected.
 
-    All three are bit-identical: the flat snapshot round-trip is exact, so
-    outcomes (fingerprints included) match the sequential run.
+    ``order="largest"`` dispatches biggest circuits first to bound the
+    straggler tail (results still return in suite order); ``"suite"``
+    keeps manifest order.  ``transfer`` picks how networks cross the
+    process boundary (``"shm"`` flat shared-memory snapshots, ``"pickle"``
+    object graphs, ``"auto"`` shm for network objects / in-worker builds
+    for named specs) — all three are bit-identical.  ``faults`` installs a
+    :class:`~repro.batch.faults.FaultPlan` (chaos testing).
     """
 
     def __init__(self, *, jobs: int = 1, context: Optional[FlowContext] = None,
                  progress: Optional[Callable] = None, verify: bool = False,
                  checkpoint: bool = False, n_patterns: int = 256, seed: int = 1,
-                 return_networks: bool = True, transfer: str = "auto"):
+                 return_networks: bool = True, transfer: str = "auto",
+                 timeout: Optional[float] = None, retries: int = 0,
+                 backoff: float = 0.5, order: str = "suite",
+                 events: Optional[Callable] = None, faults=None,
+                 claim_ttl: Optional[float] = None, owner: str = ""):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if transfer not in ("auto", "shm", "pickle"):
             raise ValueError(f"transfer must be auto|shm|pickle, got {transfer!r}")
+        if order not in ("suite", "largest"):
+            raise ValueError(f"order must be suite|largest, got {order!r}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.jobs = jobs
         self.ctx = context if context is not None else FlowContext(
             n_patterns=n_patterns, seed=seed)
@@ -315,19 +450,38 @@ class BatchRunner:
         self.seed = seed
         self.return_networks = return_networks
         self.transfer = transfer
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.order = order
+        self.events = events
+        self.faults = faults
+        self.claim_ttl = claim_ttl
+        import socket
+
+        self.owner = owner or f"{socket.gethostname()}:{os.getpid()}"
 
     # -- flow batches --------------------------------------------------------
 
     def run(self, circuits: Union[Suite, Iterable], flow,
             *, scale: Optional[str] = None, store=None,
-            store_meta: Optional[dict] = None) -> BatchResult:
+            store_meta: Optional[dict] = None, resume: bool = False,
+            cooperate: bool = False) -> BatchResult:
         """Run one flow over a suite / circuit list; returns a
         :class:`BatchResult` with outcomes in suite order.
 
         ``circuits`` is a :class:`Suite`, or an iterable mixing benchmark
         names, ``.aag`` paths, :class:`SuiteEntry` items and network
         objects.  ``store`` (a :class:`~repro.batch.store.ResultStore` or a
-        path) records the run when given.
+        path) records the run *incrementally* when given — the header is
+        appended up front and each circuit as it completes, so an
+        interrupted run leaves a resumable prefix.
+
+        ``resume=True`` skips circuits that already have ``ok`` records
+        under the same run key (copying them forward into this run);
+        ``cooperate=True`` claims each circuit through the store before
+        dispatching it so concurrent runners share the suite.  Both need
+        ``store``.
         """
         suite_name = ""
         if isinstance(circuits, Suite):
@@ -339,31 +493,76 @@ class BatchRunner:
         scale = scale or "small"
         flow_text = resolve_flow(flow).to_script()
 
+        from .store import ResultStore, run_key as _run_key
+
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        if (resume or cooperate) and store is None:
+            raise ValueError("resume/cooperate need a result store")
+
         payloads = self._payloads(items, flow_text, scale)
+        key = _run_key(flow_text, suite_name, scale,
+                       [(p["name"], _spec_fingerprint(p["spec"], p["scale"]))
+                        for p in payloads])
+        total = len(payloads)
+        outcomes: Dict[int, CircuitOutcome] = {}
         t0 = time.perf_counter()
-        shm_blocks: List = []
+        run_id = ""
+        if store is not None:
+            run_id = store.open_run(flow=flow_text, suite=suite_name,
+                                    scale=scale, jobs=self.jobs,
+                                    circuits=total, run_key=key,
+                                    meta=store_meta)
+
+        def finalize(outcome: CircuitOutcome) -> None:
+            outcomes[outcome.index] = outcome
+            if store is not None and outcome.status in _RECORDED_STATUSES:
+                store.append_result(run_id, outcome.to_record())
+            if self.progress:
+                self.progress(len(outcomes), total, outcome)
+
+        if resume:
+            prior = store.completed(key)
+            todo = []
+            for p in payloads:
+                rec = prior.get(p["name"])
+                if rec is None:
+                    todo.append(p)
+                    continue
+                outcome = self._resumed_outcome(p, rec)
+                self._emit("skipped", outcome,
+                           detail=f"ok under run key {key} "
+                                  f"(run {outcome.resumed_from})")
+                finalize(outcome)
+            payloads = todo
+        if self.order == "largest":
+            payloads = self._order_largest(payloads)
+
+        claims = (store, key) if cooperate else None
         pooled = self.jobs > 1 and len(payloads) > 1
+        shm_blocks: List = []
         try:
             if not pooled:
-                outcomes = self._run_sequential(payloads)
+                self._run_sequential(payloads, finalize, claims)
             else:
-                shm_blocks = self._publish_shm(payloads)
-                outcomes = self._run_pool(payloads)
+                self._publish_shm(payloads, shm_blocks)
+                self._run_pool(payloads, finalize, claims)
         finally:
             for shm in shm_blocks:   # parent owns every block's lifetime
                 shm.close()
-                shm.unlink()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+        wall = time.perf_counter() - t0
         result = BatchResult(flow=flow_text, scale=scale, jobs=self.jobs,
-                             outcomes=outcomes,
-                             wall_seconds=time.perf_counter() - t0,
-                             suite=suite_name,
+                             outcomes=[outcomes[i] for i in sorted(outcomes)],
+                             wall_seconds=wall, suite=suite_name,
+                             run_id=run_id, run_key=key,
                              transfer=self.transfer if pooled else "")
         if store is not None:
-            from .store import ResultStore
-
-            if not isinstance(store, ResultStore):
-                store = ResultStore(store)
-            store.record(result, meta=store_meta)
+            store.close_run(run_id, wall_seconds=wall,
+                            failures=len(result.failures))
         return result
 
     def _payloads(self, items: Sequence, flow_text: str, scale: str) -> List[dict]:
@@ -383,26 +582,59 @@ class BatchRunner:
             seen.add(name)
             payloads.append({"index": i, "name": name, "spec": spec,
                              "scale": scale, "flow": flow_text,
+                             "attempt": 1,
                              "verify": self.verify,
                              "checkpoint": self.checkpoint,
                              "return_network": self.return_networks,
                              "pack_return": self.transfer != "pickle"})
+            if self.faults is not None:
+                payloads[-1]["faults"] = self.faults.to_payload()
         return payloads
 
-    def _publish_shm(self, payloads: List[dict]) -> List:
+    def _order_largest(self, payloads: List[dict]) -> List[dict]:
+        """Dispatch order: biggest inputs first, ties in suite order.
+
+        Sizes come from the spec when it already is a network (or a shm
+        header); named/manifest specs are built once here — and, when the
+        transfer mode allows it, the built network replaces the spec so
+        the build is not repeated in the worker.
+        """
+        sized = []
+        for p in payloads:
+            spec = p["spec"]
+            if isinstance(spec, _ShmSpec):
+                size = spec.header.get("n", 0)
+            elif isinstance(spec, LogicNetwork):
+                size = spec.num_gates()
+            else:
+                try:
+                    ntk = _build_circuit(spec, p["scale"])
+                except Exception:
+                    size = -1            # the worker will report the real error
+                else:
+                    size = ntk.num_gates()
+                    if self.transfer != "pickle":
+                        p["spec"] = ntk  # reuse the build (lifted to shm next)
+            sized.append((size, p))
+        sized.sort(key=lambda t: (-t[0], t[1]["index"]))
+        return [p for _, p in sized]
+
+    def _publish_shm(self, payloads: List[dict], blocks: List) -> None:
         """Lift payload specs into shared-memory flat snapshots.
 
-        Returns the created blocks; the caller closes + unlinks them once
-        the pool is done (workers only ever attach/copy/close).  In
-        ``"auto"`` mode only already-built network objects are lifted — a
-        name or :class:`SuiteEntry` pickles smaller than its circuit, so
-        those still build in the worker.  In ``"shm"`` mode every spec is
-        built in the parent and published; a spec that fails to build (or
-        is not a plain logic network) falls back to its pickled form.
+        Created blocks are appended to the *caller's* ``blocks`` list as
+        they are made, so the caller's ``finally`` unlinks every block
+        even when a later publish raises mid-loop (the historical leak
+        window).  The caller closes + unlinks them once the pool is done;
+        workers only ever attach/copy/close.  In ``"auto"`` mode only
+        already-built network objects are lifted — a name or
+        :class:`SuiteEntry` pickles smaller than its circuit, so those
+        still build in the worker.  In ``"shm"`` mode every spec is built
+        in the parent and published; a spec that fails to build (or is not
+        a plain logic network) falls back to its pickled form.
         """
         if self.transfer == "pickle":
-            return []
-        blocks: List = []
+            return
         for p in payloads:
             spec = p["spec"]
             if isinstance(spec, LogicNetwork) and _flat_transferable(spec):
@@ -420,45 +652,274 @@ class BatchRunner:
             shm, header = ntk.flat.to_shared_memory()
             blocks.append(shm)
             p["spec"] = _ShmSpec(header)
-        return blocks
 
-    def _run_sequential(self, payloads: List[dict]) -> List[CircuitOutcome]:
-        outcomes = []
-        for done, payload in enumerate(payloads, 1):
-            outcome = _execute_flow_job(payload, ctx=self.ctx, keep_objects=True)
-            outcomes.append(outcome)
-            if self.progress:
-                self.progress(done, len(payloads), outcome)
-        return outcomes
+    # -- event / claim plumbing ----------------------------------------------
 
-    def _run_pool(self, payloads: List[dict]) -> List[CircuitOutcome]:
-        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    def _emit(self, kind: str, outcome: Optional[CircuitOutcome] = None, *,
+              payload: Optional[dict] = None, worker: int = 0,
+              seconds: float = 0.0, detail: str = "") -> None:
+        """Send one event to the sink; a broken sink never kills the run."""
+        if self.events is None:
+            return
+        if outcome is not None:
+            event = RunEvent(kind=kind, circuit=outcome.name,
+                             index=outcome.index, attempt=outcome.attempts,
+                             status=outcome.status, seconds=outcome.seconds,
+                             worker=outcome.worker, detail=detail,
+                             at=time.time())
+        else:
+            event = RunEvent(kind=kind, circuit=payload["name"],
+                             index=payload["index"],
+                             attempt=payload.get("attempt", 1),
+                             seconds=seconds, worker=worker, detail=detail,
+                             at=time.time())
+        try:
+            self.events(event)
+        except Exception as exc:
+            warnings.warn(f"batch event sink failed on {kind!r}: {exc}")
 
-        outcomes: Dict[int, CircuitOutcome] = {}
-        with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(payloads)),
-                initializer=_init_worker,
-                initargs=(self.n_patterns, self.seed)) as pool:
-            pending = {pool.submit(_execute_flow_job, p): p for p in payloads}
-            while pending:
-                finished, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    payload = pending.pop(future)
+    def _claim_or_yield(self, claims, payload) -> Optional[CircuitOutcome]:
+        """Try to claim a circuit; returns a ``claimed`` outcome on loss."""
+        if claims is None:
+            return None
+        store, key = claims
+        won, winner = store.claim(key, payload["name"], owner=self.owner,
+                                  ttl=self.claim_ttl)
+        if won:
+            return None
+        outcome = CircuitOutcome(
+            name=payload["name"], index=payload["index"], status="claimed",
+            attempts=payload.get("attempt", 1),
+            error=f"claimed by {winner.get('owner', '?')}")
+        self._emit("claimed", outcome,
+                   detail=f"held by {winner.get('owner', '?')}")
+        return outcome
+
+    def _resumed_outcome(self, payload: dict, rec: dict) -> CircuitOutcome:
+        """Rehydrate a prior ``ok`` record into this run's outcome."""
+        outcome = CircuitOutcome(
+            name=payload["name"], index=payload["index"], status="ok",
+            seconds=float(rec.get("seconds", 0.0)),
+            kind=rec.get("state", ""), fingerprint=rec.get("fingerprint", ""),
+            n_passes=int(rec.get("passes", 0)),
+            worker=int(rec.get("worker", 0)),
+            attempts=int(rec.get("attempts", 1)),
+            resumed_from=rec.get("resumed_from") or rec.get("run_id", ""))
+        if "size" in rec:
+            outcome.cost = (rec["size"], rec["depth"])
+        if "size_in" in rec:
+            outcome.before = (rec["size_in"], rec["depth_in"])
+        outcome.summary = f"resumed from {outcome.resumed_from}"
+        return outcome
+
+    def _backoff_delay(self, attempt: int) -> float:
+        return self.backoff * (2 ** (attempt - 1))
+
+    # -- in-process execution ------------------------------------------------
+
+    def _run_sequential(self, payloads: List[dict], finalize, claims) -> None:
+        for payload in payloads:
+            yielded = self._claim_or_yield(claims, payload)
+            if yielded is not None:
+                finalize(yielded)
+                continue
+            while True:
+                self._emit("started", payload=payload, worker=os.getpid())
+                outcome = _execute_flow_job(payload, ctx=self.ctx,
+                                            keep_objects=True)
+                if outcome.status == "error" and payload["attempt"] <= self.retries:
+                    delay = self._backoff_delay(payload["attempt"])
+                    self._emit("retried", outcome,
+                               detail=f"{outcome.error.splitlines()[0]} — "
+                                      f"retrying in {delay:.2f}s")
+                    time.sleep(delay)
+                    payload = dict(payload, attempt=payload["attempt"] + 1)
+                    continue
+                break
+            self._emit("finished", outcome)
+            finalize(outcome)
+
+    # -- supervised worker pool ----------------------------------------------
+
+    def _spawn_worker(self) -> _PoolWorker:
+        import multiprocessing as mp
+
+        parent_conn, child_conn = mp.Pipe()
+        proc = mp.Process(target=_worker_main,
+                          args=(child_conn, self.n_patterns, self.seed),
+                          daemon=True)
+        proc.start()
+        child_conn.close()
+        return _PoolWorker(proc, parent_conn)
+
+    def _replace_worker(self, workers: List[_PoolWorker], worker: _PoolWorker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.kill()
+        worker.proc.join(5)
+        workers[workers.index(worker)] = self._spawn_worker()
+
+    def _shutdown_workers(self, workers: List[_PoolWorker]) -> None:
+        for w in workers:
+            try:
+                w.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for w in workers:
+            w.proc.join(1.0)
+            if w.proc.is_alive():
+                w.proc.kill()
+                w.proc.join(5)
+            try:
+                w.conn.close()
+            except OSError:
+                pass
+
+    def _finish_outcome(self, outcome: CircuitOutcome) -> CircuitOutcome:
+        """Rebuild packed result networks shipped home as flat buffers."""
+        if outcome.packed is not None:
+            header, buf = outcome.packed
+            outcome.network = FlatNetwork.unpack(header, buf).to_network()
+            outcome.packed = None
+        return outcome
+
+    def _run_pool(self, payloads: List[dict], finalize, claims) -> None:
+        """The supervisor loop: dispatch, collect, kill, retry, replace.
+
+        Every circuit is pinned to the worker executing it (one duplex
+        pipe per worker), so worker death is attributed to exactly one
+        circuit, hung workers can be killed without touching their
+        siblings, and nothing a dead worker leaves behind can poison the
+        rest of the run.
+        """
+        from multiprocessing.connection import wait as _conn_wait
+
+        queue = deque(payloads)
+        delayed: List[tuple] = []        # (ready_at, payload) retry backoffs
+        workers = [self._spawn_worker()
+                   for _ in range(min(self.jobs, len(payloads)))]
+
+        def retry_or(final_kind: str, outcome: CircuitOutcome,
+                     payload: dict, now: float) -> None:
+            """Requeue a failed attempt, or finalize it as ``final_kind``."""
+            if payload["attempt"] <= self.retries:
+                delay = self._backoff_delay(payload["attempt"])
+                self._emit("retried", outcome,
+                           detail=f"{outcome.status}: "
+                                  f"{(outcome.error or '?').splitlines()[0]}"
+                                  f" — retrying in {delay:.2f}s")
+                delayed.append((now + delay,
+                                dict(payload, attempt=payload["attempt"] + 1)))
+                return
+            self._emit(final_kind, outcome)
+            finalize(outcome)
+
+        try:
+            while True:
+                now = time.monotonic()
+                # promote ripe retry backoffs to the front of the queue
+                if delayed:
+                    ripe = [p for t, p in delayed if t <= now]
+                    delayed = [(t, p) for t, p in delayed if t > now]
+                    for p in ripe:
+                        queue.appendleft(p)
+                # dispatch work to idle workers
+                for w in workers:
+                    if w.payload is not None:
+                        continue
+                    payload = None
+                    while queue:
+                        payload = queue.popleft()
+                        yielded = self._claim_or_yield(claims, payload)
+                        if yielded is None:
+                            break
+                        finalize(yielded)
+                        payload = None
+                    if payload is None:
+                        continue
                     try:
-                        outcome = future.result()
-                    except Exception as exc:   # worker process died
+                        w.conn.send(payload)
+                    except (BrokenPipeError, OSError):
+                        # the worker died while idle: requeue, replace
+                        queue.appendleft(payload)
+                        self._replace_worker(workers, w)
+                        continue
+                    w.payload = payload
+                    w.started = time.monotonic()
+                    self._emit("started", payload=payload, worker=w.proc.pid)
+                busy = [w for w in workers if w.payload is not None]
+                if not busy:
+                    if delayed:
+                        wake = min(t for t, _ in delayed)
+                        time.sleep(max(0.0, wake - time.monotonic()))
+                        continue
+                    if queue:
+                        continue         # claims drained mid-dispatch
+                    break
+                # sleep until a result, the next deadline, or the next retry
+                wake = None
+                if self.timeout is not None:
+                    wake = min(w.started + self.timeout for w in busy)
+                if delayed:
+                    ripe_at = min(t for t, _ in delayed)
+                    wake = ripe_at if wake is None else min(wake, ripe_at)
+                tick = (None if wake is None
+                        else max(0.0, wake - time.monotonic()))
+                ready = _conn_wait([w.conn for w in busy], timeout=tick)
+                now = time.monotonic()
+                for conn in ready:
+                    w = next(x for x in workers if x.conn is conn)
+                    payload, started = w.payload, w.started
+                    if payload is None:
+                        continue
+                    try:
+                        outcome = conn.recv()
+                    except (EOFError, OSError):
+                        # the worker died mid-circuit: exactly this circuit
+                        # is the casualty — nothing else is requeued
+                        pid = w.proc.pid
+                        w.payload = None
+                        self._replace_worker(workers, w)
                         outcome = CircuitOutcome(
                             name=payload["name"], index=payload["index"],
-                            status="error",
-                            error=f"worker failed: {type(exc).__name__}: {exc}")
-                    if outcome.packed is not None:
-                        header, buf = outcome.packed
-                        outcome.network = FlatNetwork.unpack(header, buf).to_network()
-                        outcome.packed = None
-                    outcomes[outcome.index] = outcome
-                    if self.progress:
-                        self.progress(len(outcomes), len(payloads), outcome)
-        return [outcomes[i] for i in sorted(outcomes)]
+                            status="crashed", seconds=now - started,
+                            worker=pid or 0,
+                            attempts=payload.get("attempt", 1),
+                            error=f"worker {pid} died mid-circuit")
+                        retry_or("crashed", outcome, payload, now)
+                        continue
+                    w.payload = None
+                    outcome.attempts = payload.get("attempt", 1)
+                    self._finish_outcome(outcome)
+                    if outcome.status == "error":
+                        retry_or("finished", outcome, payload, now)
+                        continue
+                    self._emit("finished", outcome)
+                    finalize(outcome)
+                # hard per-circuit timeouts: kill, never join
+                if self.timeout is not None:
+                    now = time.monotonic()
+                    for w in list(workers):
+                        if w.payload is None or now - w.started < self.timeout:
+                            continue
+                        payload, elapsed = w.payload, now - w.started
+                        pid = w.proc.pid
+                        w.payload = None
+                        self._replace_worker(workers, w)
+                        outcome = CircuitOutcome(
+                            name=payload["name"], index=payload["index"],
+                            status="timeout", seconds=elapsed,
+                            worker=pid or 0,
+                            attempts=payload.get("attempt", 1),
+                            error=f"killed after exceeding the "
+                                  f"{self.timeout}s circuit timeout")
+                        self._emit("timeout", outcome)
+                        finalize(outcome)
+        finally:
+            self._shutdown_workers(workers)
 
     # -- generic fan-out (the experiments drivers) ---------------------------
 
@@ -467,8 +928,8 @@ class BatchRunner:
 
         ``fn`` must be a module-level callable (picklable by reference) and
         each task picklable.  With ``jobs=1`` every call shares this
-        runner's context; with ``jobs>1`` tasks shard across the pool and
-        run under per-worker contexts.  Unlike :meth:`run`, exceptions
+        runner's context; with ``jobs>1`` tasks shard across a process pool
+        and run under per-worker contexts.  Unlike :meth:`run`, exceptions
         propagate — callers wanting isolation use :meth:`run`.
         """
         tasks = list(tasks)

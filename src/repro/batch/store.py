@@ -1,10 +1,26 @@
 """ResultStore — an append-only JSONL record of batch runs.
 
 Every batch invocation appends one ``run`` header line (flow script, suite,
-scale, jobs, git revision, wall time) followed by one ``result`` line per
-circuit (status, cost, structural fingerprint, seconds, worker pid).  The
-file is plain JSON-lines: greppable, diffable, safe to append to from
-successive runs, and the unit of regression tracking —
+scale, jobs, git revision, run key) followed by one ``result`` line per
+circuit (status, cost, structural fingerprint, seconds, worker pid) and a
+closing ``end`` line (wall time, failure count).  The file is plain
+JSON-lines: greppable, diffable, safe to append to from successive runs —
+and from *concurrent* runs, which is what makes it double as the
+coordination medium for fault tolerance:
+
+* **crash-safe appends** — every record is flushed and fsynced as it is
+  written, so a run killed mid-suite leaves a readable prefix; the reader
+  tolerates (and reports) a truncated final line instead of rejecting the
+  whole file;
+* **run keys** — :func:`run_key` derives a stable identity from the flow
+  script, suite, scale and per-circuit input fingerprints; a restarted run
+  under the same key can skip circuits that already have ``ok`` records
+  (:meth:`ResultStore.completed`);
+* **claims** — :meth:`ResultStore.claim` appends an advisory claim line;
+  first claim in file order wins, so multiple runner processes can share
+  one suite without duplicating work (appends of one JSON line are atomic
+  on POSIX).
+
 :meth:`ResultStore.compare` diffs two runs circuit by circuit and reports
 quality regressions, result divergences (fingerprint mismatches at equal
 cost) and the wall-time speedup.
@@ -12,15 +28,17 @@ cost) and the wall-time speedup.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import subprocess
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["ResultStore", "RunInfo", "Comparison", "git_revision"]
+__all__ = ["ResultStore", "RunInfo", "Comparison", "git_revision", "run_key"]
 
 _GIT_REV_CACHE: Dict[str, str] = {}
 
@@ -39,6 +57,21 @@ def git_revision(cwd: Optional[str] = None) -> str:
     return _GIT_REV_CACHE[key]
 
 
+def run_key(flow: str, suite: str, scale: str,
+            inputs: Sequence[Tuple[str, str]]) -> str:
+    """A stable identity for one batch workload (16 hex chars).
+
+    Two invocations share a run key iff they would do the same work: same
+    canonical flow script, suite name, scale, and the same per-circuit
+    input fingerprints (name → content hash pairs; order-insensitive).
+    The key is what resume and cooperative claims coordinate on.
+    """
+    payload = json.dumps({"flow": flow, "suite": suite, "scale": scale,
+                          "inputs": sorted((str(n), str(f)) for n, f in inputs)},
+                         sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
 @dataclass
 class RunInfo:
     """One recorded batch run: the header line plus its result records."""
@@ -54,6 +87,16 @@ class RunInfo:
     @property
     def suite(self) -> str:
         return self.header.get("suite", "")
+
+    @property
+    def run_key(self) -> str:
+        return self.header.get("run_key", "")
+
+    @property
+    def closed(self) -> bool:
+        """Whether the run recorded its ``end`` line (False = interrupted
+        or still in flight)."""
+        return bool(self.header.get("closed"))
 
     @property
     def wall_seconds(self) -> float:
@@ -77,6 +120,12 @@ class Comparison:
         """Rows where the run is worse than the baseline (bigger size or
         depth, a new failure, or a structural divergence)."""
         return [r for r in self.rows if r["regressed"]]
+
+    @property
+    def divergences(self) -> List[dict]:
+        """Rows whose structural fingerprint diverged from the baseline at
+        equal cost — the bit-identical check."""
+        return [r for r in self.rows if r["diverged"]]
 
     @property
     def ok(self) -> bool:
@@ -118,9 +167,25 @@ class ResultStore:
 
     # -- writing -------------------------------------------------------------
 
-    def record(self, batch, *, suite: str = "", meta: Optional[dict] = None) -> str:
-        """Append one batch result (header + per-circuit lines); returns the
-        new run id.  ``batch`` is a :class:`~repro.batch.runner.BatchResult`.
+    def _append(self, lines: List[str]) -> None:
+        """Durably append record lines: one write, flushed and fsynced, so
+        a crash immediately after a circuit completes cannot lose it."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        data = "".join(line + "\n" for line in lines)
+        with self.path.open("a") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def open_run(self, *, flow: str, suite: str = "", scale: str = "",
+                 jobs: int = 1, circuits: int = 0, run_key: str = "",
+                 meta: Optional[dict] = None) -> str:
+        """Start an incremental run: append its header line now, results as
+        they arrive (:meth:`append_result`), the ``end`` line on completion
+        (:meth:`close_run`).  Returns the new run id.
+
+        This is what makes runs resumable — a run killed mid-suite leaves
+        its header and every completed circuit on disk.
         """
         run_id = self._new_run_id()
         header = {
@@ -128,52 +193,150 @@ class ResultStore:
             "run_id": run_id,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "git_rev": git_revision(),
-            "flow": batch.flow,
-            "suite": suite or batch.suite,
-            "scale": batch.scale,
-            "jobs": batch.jobs,
-            "wall_seconds": round(batch.wall_seconds, 6),
-            "circuits": len(batch.outcomes),
-            "failures": len(batch.failures),
+            "flow": flow,
+            "suite": suite,
+            "scale": scale,
+            "jobs": jobs,
+            "circuits": circuits,
         }
+        if run_key:
+            header["run_key"] = run_key
         if meta:
             header["meta"] = meta
-        lines = [json.dumps(header)]
+        self._append([json.dumps(header)])
+        return run_id
+
+    def append_result(self, run_id: str, record: dict) -> None:
+        """Durably append one circuit record to an open run."""
+        rec = dict(record)
+        rec["kind"] = "result"
+        rec["run_id"] = run_id
+        self._append([json.dumps(rec)])
+
+    def close_run(self, run_id: str, *, wall_seconds: float = 0.0,
+                  failures: int = 0) -> None:
+        """Append the ``end`` line of an open run (wall time, failure
+        count).  A run without one was interrupted."""
+        self._append([json.dumps({
+            "kind": "end", "run_id": run_id,
+            "wall_seconds": round(wall_seconds, 6), "failures": failures,
+        })])
+
+    def record(self, batch, *, suite: str = "", meta: Optional[dict] = None) -> str:
+        """Append one completed batch result in one go (header + per-circuit
+        lines + end line); returns the new run id.  ``batch`` is a
+        :class:`~repro.batch.runner.BatchResult`.
+        """
+        run_id = self.open_run(
+            flow=batch.flow, suite=suite or batch.suite, scale=batch.scale,
+            jobs=batch.jobs, circuits=len(batch.outcomes),
+            run_key=getattr(batch, "run_key", ""), meta=meta)
         for outcome in batch.outcomes:
-            rec = outcome.to_record()
-            rec["kind"] = "result"
-            rec["run_id"] = run_id
-            lines.append(json.dumps(rec))
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a") as fh:
-            fh.write("\n".join(lines) + "\n")
+            self.append_result(run_id, outcome.to_record())
+        self.close_run(run_id, wall_seconds=batch.wall_seconds,
+                       failures=len(batch.failures))
         batch.run_id = run_id
         return run_id
 
     def _new_run_id(self) -> str:
         return time.strftime("r%Y%m%d-%H%M%S") + "-" + os.urandom(3).hex()
 
+    # -- claims (cooperative runners) ----------------------------------------
+
+    def claim(self, run_key: str, circuit: str, *, owner: str,
+              ttl: Optional[float] = None) -> Tuple[bool, dict]:
+        """Claim one circuit of a shared workload; returns ``(won, winner)``.
+
+        Appends an advisory claim line, then reads the file back: the
+        *first* claim in file order wins (appends are atomic, so every
+        cooperating process resolves the same winner).  ``ttl`` ignores
+        claims older than that many seconds — the escape hatch for claims
+        leaked by a runner that died without completing its circuit.
+        """
+        rec = {"kind": "claim", "run_key": run_key, "circuit": circuit,
+               "owner": owner, "claim_id": os.urandom(6).hex(),
+               "time": round(time.time(), 3)}
+        self._append([json.dumps(rec)])
+        winner = self.claims(run_key, ttl=ttl).get(circuit, rec)
+        return winner.get("claim_id") == rec["claim_id"], winner
+
+    def claims(self, run_key: str, *, ttl: Optional[float] = None) -> Dict[str, dict]:
+        """The winning (first, non-stale) claim per circuit under a run key."""
+        now = time.time()
+        out: Dict[str, dict] = {}
+        for rec in self._records():
+            if rec.get("kind") != "claim" or rec.get("run_key") != run_key:
+                continue
+            if ttl is not None and now - float(rec.get("time", 0.0)) > ttl:
+                continue
+            out.setdefault(rec["circuit"], rec)
+        return out
+
     # -- reading -------------------------------------------------------------
+
+    def _records(self) -> List[dict]:
+        """All parseable records, tolerating a truncated final line.
+
+        A writer killed mid-append can leave a torn last line; that is
+        reported (a warning) and skipped.  Corruption anywhere *else*
+        still raises — it means the file was damaged, not interrupted.
+        """
+        if not self.path.exists():
+            return []
+        lines = [(i, line.strip())
+                 for i, line in enumerate(self.path.read_text().splitlines())
+                 if line.strip()]
+        out: List[dict] = []
+        for pos, (lineno, line) in enumerate(lines):
+            try:
+                out.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if pos == len(lines) - 1:
+                    warnings.warn(
+                        f"{self.path}: ignoring truncated final record "
+                        f"(line {lineno + 1}): {exc}")
+                    continue
+                raise ValueError(
+                    f"{self.path}: corrupt record at line {lineno + 1}: "
+                    f"{exc}") from exc
+        return out
 
     def runs(self) -> List[RunInfo]:
         """All recorded runs in file (chronological) order."""
         runs: Dict[str, RunInfo] = {}
         order: List[str] = []
-        if not self.path.exists():
-            return []
-        for line in self.path.read_text().splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            rec = json.loads(line)
-            if rec.get("kind") == "run":
+        for rec in self._records():
+            kind = rec.get("kind")
+            if kind == "run":
                 runs[rec["run_id"]] = RunInfo(run_id=rec["run_id"], header=rec)
                 order.append(rec["run_id"])
-            elif rec.get("kind") == "result":
+            elif kind == "result":
                 run = runs.get(rec.get("run_id"))
                 if run is not None:
                     run.results[rec["circuit"]] = rec
+            elif kind == "end":
+                run = runs.get(rec.get("run_id"))
+                if run is not None:
+                    run.header["wall_seconds"] = rec.get("wall_seconds", 0.0)
+                    run.header["failures"] = rec.get("failures", 0)
+                    run.header["closed"] = True
         return [runs[r] for r in order]
+
+    def completed(self, run_key: str) -> Dict[str, dict]:
+        """Circuit → latest ``ok`` record among all runs under ``run_key``.
+
+        The resume set: a restarted run skips these circuits and copies
+        their records forward (each record keeps its originating
+        ``run_id``).
+        """
+        out: Dict[str, dict] = {}
+        for run in self.runs():
+            if run.run_key != run_key:
+                continue
+            for circuit, rec in run.results.items():
+                if rec.get("status") == "ok":
+                    out[circuit] = rec
+        return out
 
     def find_run(self, run_id: Optional[str] = None, *, flow: Optional[str] = None,
                  suite: Optional[str] = None, exclude: Optional[str] = None) -> RunInfo:

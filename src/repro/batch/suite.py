@@ -74,6 +74,28 @@ class SuiteEntry:
             return f"{self.builder}({args})"
         return str(self.circuit)
 
+    def fingerprint(self, scale: str = "small") -> str:
+        """A stable content key for this entry — a run-key input.
+
+        Builder entries are keyed by builder + params (the generators are
+        deterministic); ``.aag`` entries by the file's content hash;
+        registry names by name + effective scale.  Cheap: nothing is built.
+        """
+        import hashlib
+
+        if self.builder is not None:
+            args = ",".join(f"{k}={v}" for k, v in self.params)
+            return f"gen:{self.builder}({args})"
+        circuit = str(self.circuit)
+        if circuit.endswith(".aag"):
+            try:
+                digest = hashlib.sha256(
+                    Path(circuit).read_bytes()).hexdigest()[:16]
+                return f"file:{digest}"
+            except OSError:
+                return f"file:{circuit}"
+        return f"bench:{circuit}@{self.scale or scale}"
+
 
 @dataclass
 class Suite:

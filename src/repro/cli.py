@@ -163,6 +163,8 @@ def cmd_batch(args) -> int:
         raise SystemExit("batch: give exactly one of --script or --flow")
     if args.compare_to and not args.store:
         raise SystemExit("batch: --compare-to needs --store")
+    if (args.resume or args.cooperate) and not args.store:
+        raise SystemExit("batch: --resume/--cooperate need --store")
     try:
         suite = get_suite(args.suite)
         flow = resolve_flow(args.script or args.flow)
@@ -170,15 +172,28 @@ def cmd_batch(args) -> int:
         raise SystemExit(str(exc))
 
     def progress(done, total, outcome):
-        status = "ok" if outcome.ok else "ERROR"
+        status = outcome.status if not outcome.ok else (
+            "ok (resumed)" if outcome.resumed_from else "ok")
         print(f"[{done}/{total}] {outcome.name}: {status} "
               f"({outcome.seconds:.2f}s)", flush=True)
 
+    events = None
+    if args.events:
+        from .batch import JsonlEventSink
+
+        events = JsonlEventSink(args.events)
     runner = BatchRunner(jobs=args.jobs, verify=args.verify,
                          progress=progress if not args.quiet else None,
-                         return_networks=False, transfer=args.transfer)
+                         return_networks=False, transfer=args.transfer,
+                         timeout=args.timeout, retries=args.retries,
+                         order=args.order, events=events)
     store = ResultStore(args.store) if args.store else None
-    batch = runner.run(suite, flow, scale=args.scale, store=store)
+    try:
+        batch = runner.run(suite, flow, scale=args.scale, store=store,
+                           resume=args.resume, cooperate=args.cooperate)
+    finally:
+        if events is not None:
+            events.close()
     print(batch.table())
     if batch.run_id:
         print(f"recorded run {batch.run_id} -> {store.path}")
@@ -348,6 +363,23 @@ def make_parser() -> argparse.ArgumentParser:
                    choices=("auto", "shm", "pickle"),
                    help="how circuits reach pool workers: shared-memory flat "
                         "buffers, object pickles, or auto (default)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="hard per-circuit wall-clock limit in seconds; a "
+                        "worker past it is killed (pool runs only)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="extra attempts for circuits that error or crash "
+                        "(exponential backoff between attempts)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip circuits already ok in --store under the same "
+                        "run key (flow + suite + scale + inputs)")
+    p.add_argument("--cooperate", action="store_true",
+                   help="claim circuits through --store so concurrent "
+                        "runners share the suite without duplicated work")
+    p.add_argument("--order", default="largest", choices=("largest", "suite"),
+                   help="dispatch order: biggest circuits first to bound "
+                        "stragglers (default), or manifest order")
+    p.add_argument("--events",
+                   help="append a JSONL progress-event stream to this path")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-circuit progress lines")
     p.set_defaults(fn=cmd_batch)

@@ -277,7 +277,22 @@ class FlatNetwork:
         from multiprocessing import shared_memory
 
         payload = self.pack()
-        shm = shared_memory.SharedMemory(create=True, size=max(len(payload), 1))
+        # an auto-generated name can still collide with a block leaked by a
+        # killed process; regenerate rather than fail the whole batch
+        for _ in range(8):
+            try:
+                shm = shared_memory.SharedMemory(create=True,
+                                                 size=max(len(payload), 1))
+                break
+            except FileExistsError as exc:
+                import warnings
+
+                warnings.warn(f"shared-memory name collision with a leaked "
+                              f"block ({exc}); retrying with a fresh name")
+        else:
+            raise RuntimeError(
+                "could not allocate a shared-memory block: every generated "
+                "name collided with an existing (leaked?) block")
         shm.buf[:len(payload)] = payload
         header = self.header()
         header["shm_name"] = shm.name
