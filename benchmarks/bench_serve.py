@@ -1,0 +1,177 @@
+"""Micro-benchmark: the serve daemon's three latency regimes.
+
+The acceptance gate of the serve subsystem, measured against a real
+daemon over real HTTP on an ephemeral localhost port:
+
+* **cold** — fresh daemon, empty pool: the first submission pays worker
+  spawn + context warm-up + compute;
+* **warm pool** — a cache miss on an already-spawned worker: compute
+  only;
+* **cache hit** — a repeat submission: content-addressed lookup only.
+  The record must be **bit-identical** to the cold run's and must cost
+  **< 10%** of the cold latency (asserted — this is the whole point of
+  the daemon);
+* **sustained throughput** — requests/second under several concurrent
+  clients hammering the cached path;
+* **warm restart** — a second daemon on the same store serves the first
+  daemon's work from cache with zero worker dispatches.
+
+Results go to ``benchmarks/results/BENCH_serve.json`` (store at
+``benchmarks/results/BENCH_serve_store.jsonl``).  Run standalone
+(``python benchmarks/bench_serve.py``) or under pytest.
+"""
+
+import json
+import statistics
+import threading
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, SCALE
+
+from repro.serve import ServeClient, ServeDaemon
+
+FLOW = "b; rf; gm -k 4; b"
+JOBS = 2
+HIT_REPEATS = 20          # median over repeats — one lookup is microseconds
+THROUGHPUT_CLIENTS = 4
+THROUGHPUT_WINDOW = 2.0   # seconds of sustained load
+HIT_BUDGET = 0.10         # cache hit must cost < 10% of the cold path
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def _throughput(port: int, scale: str) -> dict:
+    """Total completed requests/second: N clients, one shared window."""
+    done = []
+    stop = time.monotonic() + THROUGHPUT_WINDOW
+    lock = threading.Lock()
+
+    def hammer():
+        count = 0
+        with ServeClient(port=port) as client:
+            while time.monotonic() < stop:
+                record = client.run("ctrl", flow=FLOW, scale=scale)
+                assert record["status"] == "ok"
+                count += 1
+        with lock:
+            done.append(count)
+
+    threads = [threading.Thread(target=hammer)
+               for _ in range(THROUGHPUT_CLIENTS)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    total = sum(done)
+    return {
+        "clients": THROUGHPUT_CLIENTS,
+        "window_seconds": round(elapsed, 3),
+        "requests": total,
+        "requests_per_second": round(total / elapsed, 1),
+    }
+
+
+def measure(scale: str = SCALE) -> dict:
+    store = RESULTS_DIR / "BENCH_serve_store.jsonl"
+    if store.exists():
+        store.unlink()
+
+    daemon = ServeDaemon(port=0, jobs=JOBS, store=store)
+    daemon.start()
+    try:
+        client = ServeClient(port=daemon.port)
+
+        # cold: empty pool, empty cache — spawn + warm-up + compute
+        t_cold, rec_cold = _timed(
+            lambda: client.run("ctrl", flow=FLOW, scale=scale))
+        assert rec_cold["status"] == "ok"
+
+        # warm pool: different circuit (a miss), worker already up
+        t_warm, rec_warm = _timed(
+            lambda: client.run("dec", flow=FLOW, scale=scale))
+        assert rec_warm["status"] == "ok"
+
+        # cache hit: a repeat — bit-identical record, zero dispatches
+        dispatched_before = daemon.pool.stats()["dispatched"]
+        hit_times = []
+        for _ in range(HIT_REPEATS):
+            t_hit, rec_hit = _timed(
+                lambda: client.run("ctrl", flow=FLOW, scale=scale))
+            hit_times.append(t_hit)
+            assert (json.dumps(rec_hit, sort_keys=True)
+                    == json.dumps(rec_cold, sort_keys=True)), \
+                "cache hit record diverged from the computed record"
+        t_hit = statistics.median(hit_times)
+        assert daemon.pool.stats()["dispatched"] == dispatched_before, \
+            "cache hits dispatched workers"
+        assert t_hit < HIT_BUDGET * t_cold, (
+            f"cache hit {t_hit * 1e3:.2f}ms is not <{HIT_BUDGET:.0%} of the "
+            f"cold path {t_cold * 1e3:.2f}ms")
+
+        throughput = _throughput(daemon.port, scale)
+        stats = client.stats()
+        client.close()
+    finally:
+        daemon.stop()
+
+    # warm restart: a new daemon on the same store starts with the cache
+    # already populated — yesterday's work is a lookup, not a dispatch
+    restarted = ServeDaemon(port=0, jobs=JOBS, store=store)
+    restarted.start()
+    try:
+        client = ServeClient(port=restarted.port)
+        t_restart_hit, rec = _timed(
+            lambda: client.run("ctrl", flow=FLOW, scale=scale))
+        assert (json.dumps(rec, sort_keys=True)
+                == json.dumps(rec_cold, sort_keys=True)), \
+            "restarted daemon served a diverging record"
+        assert restarted.pool.stats()["dispatched"] == 0, \
+            "warm restart dispatched a worker for cached work"
+        client.close()
+    finally:
+        restarted.stop()
+
+    return {
+        "scale": scale,
+        "flow": FLOW,
+        "jobs": JOBS,
+        "cold_seconds": round(t_cold, 6),
+        "warm_pool_seconds": round(t_warm, 6),
+        "cache_hit_seconds": round(t_hit, 6),
+        "cache_hit_repeats": HIT_REPEATS,
+        "warm_restart_hit_seconds": round(t_restart_hit, 6),
+        "cold_over_hit": round(t_cold / t_hit, 1) if t_hit > 0 else 0.0,
+        "hit_budget": HIT_BUDGET,
+        "bit_identical": True,
+        "throughput": throughput,
+        "cache": stats["cache"],
+        "pool": {k: stats["pool"][k]
+                 for k in ("dispatched", "spawned", "workers")},
+    }
+
+
+def write_json(result: dict) -> None:
+    path = RESULTS_DIR / "BENCH_serve.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    print(json.dumps(result, indent=2))
+
+
+@pytest.mark.benchmark(group="serve")
+def test_bench_serve(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_json(result)
+    assert result["bit_identical"]
+    assert result["cache_hit_seconds"] < result["hit_budget"] * result["cold_seconds"]
+
+
+if __name__ == "__main__":
+    write_json(measure())

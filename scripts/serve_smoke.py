@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Serve smoke — the daemon's acceptance invariants, as a CI step.
+
+Starts a real ``repro serve`` daemon subprocess on an ephemeral port
+(``--port 0``, the bound port parsed from its first stdout line), then
+drives it the way production traffic would:
+
+* two **concurrent** clients submit the same tiny circuit + flow; exactly
+  one computation is dispatched, and the second response is a cache hit
+  (or coalesced onto the in-flight job) whose result record is
+  **bit-identical** to the first;
+* ``GET /stats`` confirms the cache accounting (1 miss, ≥1 hit) and that
+  the pool dispatched exactly one job;
+* ``POST /shutdown`` drains and the daemon exits **0**, leaving the
+  store readable — a fresh ``ResultCache`` replays it and serves the
+  record.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [workdir]
+
+Exits non-zero (with a diagnostic) on any violated property.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.serve import ResultCache, ServeClient  # noqa: E402
+
+CIRCUIT = "ctrl"
+FLOW = "b; rf; b"
+SCALE = "tiny"
+
+
+def fail(msg: str) -> None:
+    print(f"SERVE SMOKE FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(tempfile.mkdtemp(prefix="serve_smoke_"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    store = workdir / "serve_smoke.jsonl"
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "2", "--store", str(store)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        cwd=REPO, env={**__import__("os").environ, "PYTHONPATH": "src"})
+    try:
+        banner = proc.stdout.readline().strip()
+        print(f"daemon: {banner}")
+        if "http://" not in banner:
+            fail(f"unparseable banner: {banner!r} "
+                 f"(stderr: {proc.stderr.read()[:2000]})")
+        port = int(banner.split("http://")[1].split()[0].rsplit(":", 1)[1])
+
+        # two concurrent clients, same work: one computation, two records
+        records = [None, None]
+        errors = []
+
+        def submit(slot: int) -> None:
+            try:
+                with ServeClient(port=port) as client:
+                    records[slot] = client.run(CIRCUIT, flow=FLOW,
+                                               scale=SCALE, timeout=120)
+            except Exception as exc:
+                errors.append(f"client {slot}: {type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            fail("; ".join(errors))
+        blobs = [json.dumps(r, sort_keys=True) for r in records]
+        if blobs[0] != blobs[1]:
+            fail(f"concurrent records diverged:\n{blobs[0]}\n{blobs[1]}")
+        if records[0].get("status") != "ok":
+            fail(f"job did not succeed: {records[0]}")
+
+        with ServeClient(port=port) as client:
+            stats = client.stats()
+            if stats["pool"]["dispatched"] != 1:
+                fail(f"expected exactly 1 dispatch for 2 identical "
+                     f"submissions, got {stats['pool']['dispatched']}")
+            if stats["cache"]["hits"] < 1 or stats["cache"]["misses"] != 1:
+                fail(f"cache accounting wrong: {stats['cache']}")
+            # a third submission is a pure cache hit, bit-identical again
+            third = client.submit(CIRCUIT, flow=FLOW, scale=SCALE)
+            if not third.get("cached") or third.get("status") != "done":
+                fail(f"third submission was not a cache hit: {third}")
+            if json.dumps(third["record"], sort_keys=True) != blobs[0]:
+                fail("third (cached) record diverged")
+            client.shutdown(drain=True)
+
+        rc = proc.wait(timeout=60)
+        if rc != 0:
+            fail(f"daemon exited {rc} after graceful shutdown "
+                 f"(stderr: {proc.stderr.read()[:2000]})")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(10)
+
+    # the store the daemon left behind is readable and warm
+    cache = ResultCache(store)
+    if len(cache) != 1:
+        fail(f"store not readable / wrong entry count: {len(cache)}")
+    print(f"serve smoke OK: 2 concurrent clients -> 1 dispatch, "
+          f"bit-identical records, clean exit, warm store ({store})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

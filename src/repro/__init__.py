@@ -28,6 +28,13 @@ Quickstart::
 
     batch = BatchRunner(jobs=4).run(get_suite("epfl-arithmetic"),
                                     "compress2rs", store="results.jsonl")
+
+    # or as a long-lived service (``repro serve``) with a warm worker pool
+    # and a content-addressed result cache:
+    from repro import ServeDaemon, ServeClient
+
+    with ServeDaemon(port=0, jobs=2, store="serve.jsonl") as daemon:
+        record = ServeClient(port=daemon.port).run("adder", flow="compress2rs")
 """
 
 from .networks import (
@@ -72,6 +79,7 @@ from .batch import (
     available_suites,
     get_suite,
 )
+from .serve import ServeClient, ServeDaemon
 
 __version__ = "1.2.0"
 
@@ -91,6 +99,9 @@ __all__ = [
     "BatchRunner",
     "BatchResult",
     "ResultStore",
+    # serve API
+    "ServeDaemon",
+    "ServeClient",
     "Aig",
     "Xag",
     "Mig",

@@ -48,7 +48,7 @@ The CLI fronts this with ``repro suite`` (list/show manifests) and
 from .suite import Suite, SuiteEntry, available_suites, get_suite
 from .runner import BatchResult, BatchRunner, CircuitOutcome, state_fingerprint
 from .store import Comparison, ResultStore, RunInfo, git_revision, run_key
-from .events import EventLog, JsonlEventSink, RunEvent, read_events
+from .events import EventLog, JsonlEventSink, RunEvent, event_sink, read_events
 from .faults import Fault, FaultPlan, TransientFault
 
 __all__ = [
@@ -68,6 +68,7 @@ __all__ = [
     "RunEvent",
     "EventLog",
     "JsonlEventSink",
+    "event_sink",
     "read_events",
     "Fault",
     "FaultPlan",

@@ -30,12 +30,13 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 __all__ = ["RunEvent", "EventLog", "JsonlEventSink", "EVENT_KINDS",
-           "read_events"]
+           "read_events", "event_sink"]
 
 #: every event kind the runner emits, in rough life-cycle order
 EVENT_KINDS = ("started", "finished", "retried", "timeout", "crashed",
@@ -92,26 +93,51 @@ class JsonlEventSink:
     Durable by construction: a reader (or a post-mortem after a kill)
     sees every event that was emitted before the writer died, which is
     how the kill-and-resume smoke finds the worker pids it must clean up.
+
+    A sink whose path cannot be opened (or whose device fills up) warns
+    **once** and disables itself — progress telemetry must never cost a
+    run, and must not warn again on every subsequent event.
     """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self._fh = None
+        self._broken = False
 
     def __call__(self, event: RunEvent) -> None:
         """Append one event line (the sink protocol)."""
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("a")
-        self._fh.write(json.dumps(event.to_dict()) + "\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        if self._broken:
+            return
+        try:
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._fh = self.path.open("a")
+            self._fh.write(json.dumps(event.to_dict()) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            self._broken = True
+            warnings.warn(f"event sink {self.path}: disabled after write "
+                          f"failure: {exc}")
 
     def close(self) -> None:
         """Close the underlying file (idempotent)."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+
+def event_sink(path: Optional[Union[str, Path]]) -> Optional[JsonlEventSink]:
+    """The one way run-event sinks are constructed from a CLI/daemon option.
+
+    Returns a :class:`JsonlEventSink` on ``path``, or ``None`` when no path
+    was given — so ``repro batch --events`` and ``repro serve --events``
+    build byte-identical sinks (same durability, same warn-once handling of
+    a broken path) through one helper instead of two copies.
+    """
+    if not path:
+        return None
+    return JsonlEventSink(path)
 
 
 def read_events(path: Union[str, Path]) -> List[dict]:

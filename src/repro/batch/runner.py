@@ -388,6 +388,34 @@ class _PoolWorker:
         self.started: float = 0.0             # monotonic dispatch time
 
 
+def spawn_pool_worker(n_patterns: int = 256, seed: int = 1) -> _PoolWorker:
+    """Spawn one supervised pool worker: a daemon process running
+    :func:`_worker_main` with a warm :class:`FlowContext`, attached to the
+    supervisor by one duplex pipe.  Shared by :class:`BatchRunner` and the
+    serve daemon's persistent pool."""
+    import multiprocessing as mp
+
+    parent_conn, child_conn = mp.Pipe()
+    proc = mp.Process(target=_worker_main,
+                      args=(child_conn, n_patterns, seed),
+                      daemon=True)
+    proc.start()
+    child_conn.close()
+    return _PoolWorker(proc, parent_conn)
+
+
+def kill_pool_worker(worker: _PoolWorker) -> None:
+    """Close the pipe and SIGKILL (never join an alive process first) one
+    pool worker — the hard-timeout path: a hung worker cannot be joined."""
+    try:
+        worker.conn.close()
+    except OSError:
+        pass
+    if worker.proc.is_alive():
+        worker.proc.kill()
+    worker.proc.join(5)
+
+
 # ---------------------------------------------------------------------- #
 # the runner                                                              #
 # ---------------------------------------------------------------------- #
@@ -742,24 +770,10 @@ class BatchRunner:
     # -- supervised worker pool ----------------------------------------------
 
     def _spawn_worker(self) -> _PoolWorker:
-        import multiprocessing as mp
-
-        parent_conn, child_conn = mp.Pipe()
-        proc = mp.Process(target=_worker_main,
-                          args=(child_conn, self.n_patterns, self.seed),
-                          daemon=True)
-        proc.start()
-        child_conn.close()
-        return _PoolWorker(proc, parent_conn)
+        return spawn_pool_worker(self.n_patterns, self.seed)
 
     def _replace_worker(self, workers: List[_PoolWorker], worker: _PoolWorker) -> None:
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
-        if worker.proc.is_alive():
-            worker.proc.kill()
-        worker.proc.join(5)
+        kill_pool_worker(worker)
         workers[workers.index(worker)] = self._spawn_worker()
 
     def _shutdown_workers(self, workers: List[_PoolWorker]) -> None:

@@ -241,6 +241,26 @@ class ResultStore:
     def _new_run_id(self) -> str:
         return time.strftime("r%Y%m%d-%H%M%S") + "-" + os.urandom(3).hex()
 
+    # -- serve cache entries (content-addressed results) ---------------------
+
+    def append_cache(self, record: dict) -> None:
+        """Durably append one content-addressed cache entry (``kind:
+        "cache"``) — the serve daemon's persistence layer.  ``record``
+        must carry the ``cache_key``; cache lines coexist with run/claim
+        lines in the same JSONL file and are invisible to :meth:`runs`.
+        """
+        rec = dict(record)
+        rec["kind"] = "cache"
+        self._append([json.dumps(rec)])
+
+    def cache_records(self) -> List[dict]:
+        """All cache entries in file (chronological) order.
+
+        A restarted serve daemon replays these to warm its in-memory
+        index; later entries for the same ``cache_key`` win.
+        """
+        return [rec for rec in self._records() if rec.get("kind") == "cache"]
+
     # -- claims (cooperative runners) ----------------------------------------
 
     def claim(self, run_key: str, circuit: str, *, owner: str,

@@ -12,7 +12,12 @@ Commands:
 * ``suite``                          — list suite manifests / show one suite;
 * ``batch``                          — run a flow over a whole suite in
   parallel (``--jobs N``), record to a result store, diff against a
-  baseline run (``--compare-to``).
+  baseline run (``--compare-to``);
+* ``serve``                          — run the synthesis daemon: an HTTP
+  job API over a warm worker pool with a content-addressed result cache
+  (see ``docs/serve.md``);
+* ``submit``                         — submit one job to a running daemon
+  and print the result record.
 
 Circuits are the EPFL-analogue generator names (see ``suite``), or a path to
 an ASCII AIGER file (``.aag``).  Every command that transforms a circuit is
@@ -29,6 +34,7 @@ uniformly.  Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -177,11 +183,9 @@ def cmd_batch(args) -> int:
         print(f"[{done}/{total}] {outcome.name}: {status} "
               f"({outcome.seconds:.2f}s)", flush=True)
 
-    events = None
-    if args.events:
-        from .batch import JsonlEventSink
+    from .batch import event_sink
 
-        events = JsonlEventSink(args.events)
+    events = event_sink(args.events)
     runner = BatchRunner(jobs=args.jobs, verify=args.verify,
                          progress=progress if not args.quiet else None,
                          return_networks=False, transfer=args.transfer,
@@ -213,6 +217,57 @@ def cmd_batch(args) -> int:
         if not cmp.ok:
             return 1
     return 1 if batch.failures else 0
+
+
+def cmd_serve(args) -> int:
+    from .batch import event_sink
+    from .serve import ServeDaemon
+
+    daemon = ServeDaemon(args.host, args.port, jobs=args.jobs,
+                         store=args.store, timeout=args.timeout,
+                         idle_timeout=args.idle_timeout,
+                         events=event_sink(args.events))
+    daemon.start()
+    # the first line is machine-readable: smoke scripts parse the port
+    print(f"serving on http://{daemon.host}:{daemon.port} "
+          f"(jobs={args.jobs}, store={args.store or 'memory-only'})",
+          flush=True)
+    try:
+        daemon.wait()
+    except KeyboardInterrupt:
+        print("interrupted -- draining", flush=True)
+        daemon.stop()
+    print("serve: stopped", flush=True)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .serve import ServeClient, ServeError
+
+    if bool(args.script) == bool(args.flow):
+        raise SystemExit("submit: give exactly one of --script or --flow")
+    # a local .aag file is shipped inline -- the daemon may be remote
+    circuit, aag = args.circuit, ""
+    if circuit.endswith(".aag") and Path(circuit).exists():
+        circuit, aag = "", Path(args.circuit).read_text()
+    client = ServeClient(args.host, args.port)
+    try:
+        job = client.submit(circuit, aag=aag,
+                            flow=args.script or args.flow,
+                            scale=args.scale, verify=args.verify,
+                            timeout=args.timeout,
+                            name=Path(args.circuit).stem)
+        if args.no_wait:
+            print(json.dumps(job, sort_keys=True, indent=2))
+            return 0
+        job = client.wait(job["id"], timeout=args.wait)
+    except ServeError as exc:
+        raise SystemExit(f"submit: {exc}")
+    record = job.get("record") or {}
+    cached = " (cache hit)" if job.get("cached") else ""
+    print(f"{job.get('name')}: {job.get('status')}{cached}")
+    print(json.dumps(record, sort_keys=True, indent=2))
+    return 0 if job.get("status") == "done" else 1
 
 
 def cmd_passes(args) -> int:
@@ -383,6 +438,44 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-circuit progress lines")
     p.set_defaults(fn=cmd_batch)
+
+    p = sub.add_parser("serve",
+                       help="run the synthesis daemon: HTTP job API, warm "
+                            "worker pool, content-addressed result cache")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787,
+                   help="TCP port (0 = pick an ephemeral port)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="maximum pool workers kept warm for requests")
+    p.add_argument("--store",
+                   help="persist cache entries to this JSONL result store "
+                        "(a restarted daemon starts warm from it)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default hard per-job wall-clock limit in seconds")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   help="scale the pool to zero workers after this many "
+                        "idle seconds (respawned on the next job)")
+    p.add_argument("--events",
+                   help="append every job's JSONL progress events to this "
+                        "path (same format as batch --events)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit one job to a running serve daemon")
+    p.add_argument("circuit", help="benchmark name or .aag path")
+    p.add_argument("--script", help='flow script, e.g. "b; rf; rs; b"')
+    p.add_argument("--flow", help="named flow spec (compress2rs, resyn2rs)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8787)
+    p.add_argument("--scale", default="small", choices=_SCALES)
+    p.add_argument("--verify", action="store_true", help="CEC the result")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="hard wall-clock limit for this job")
+    p.add_argument("--wait", type=float, default=300.0,
+                   help="seconds to wait for the result before giving up")
+    p.add_argument("--no-wait", action="store_true",
+                   help="print the job summary and return immediately")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("passes", help="list registered flow passes")
     p.set_defaults(fn=cmd_passes)

@@ -1,0 +1,113 @@
+"""The content-addressed result cache behind the serve daemon.
+
+Production synthesis traffic is dominated by duplicates — the same RTL
+block, the same flow, submitted again and again.  The cache makes every
+duplicate a lookup instead of a recompute, keyed exactly the way the
+batch layer already fingerprints work:
+
+* the **structural fingerprint** of the input network
+  (:func:`~repro.batch.runner.state_fingerprint` — canonical AIGER
+  serialization, hashed), so the *same circuit* hits regardless of how it
+  was submitted (registry name, ``.aag`` file, builder invocation,
+  inline source);
+* the **canonical flow script** (``Flow.parse(s).to_script()``), so
+  whitespace/alias/default-argument variants of the *same flow* hit, and
+  any pass-argument change misses.
+
+Entries persist as ``kind: "cache"`` lines in the same append-only JSONL
+:class:`~repro.batch.store.ResultStore` file the batch layer records runs
+into — a restarted daemon replays the file and starts warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..batch.store import ResultStore
+
+__all__ = ["cache_key", "ResultCache"]
+
+
+def cache_key(fingerprint: str, flow: str) -> str:
+    """The content address of one work unit (16 hex chars).
+
+    ``fingerprint`` is the structural fingerprint of the input network;
+    ``flow`` the **canonical** flow script.  Two submissions share a key
+    iff the same circuit structure would run the same flow — the caller
+    must canonicalize (``resolve_flow(...).to_script()``) first.
+    """
+    payload = json.dumps({"input": fingerprint, "flow": flow},
+                         sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class ResultCache:
+    """An in-memory key → result-record index, persisted through a store.
+
+    ``store`` is a :class:`~repro.batch.store.ResultStore` (or a path, or
+    ``None`` for a memory-only cache).  On construction the store's
+    ``cache`` lines are replayed into memory — the warm-restart path.
+    Thread safe: the daemon reads from handler coroutines while the pool
+    supervisor writes completions.
+    """
+
+    def __init__(self, store: Optional[Union[str, Path, ResultStore]] = None):
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store = store
+        self._lock = threading.Lock()
+        self._mem: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.store is not None:
+            for rec in self.store.cache_records():
+                key = rec.get("cache_key")
+                if key and isinstance(rec.get("record"), dict):
+                    self._mem[key] = rec["record"]
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored result record under ``key`` (counted as a hit), or
+        ``None`` (counted as a miss)."""
+        with self._lock:
+            rec = self._mem.get(key)
+            if rec is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+        return rec
+
+    def note_hit(self) -> None:
+        """Count a hit that bypassed :meth:`get` — an in-flight duplicate
+        coalesced onto a running job."""
+        with self._lock:
+            self.hits += 1
+
+    def put(self, key: str, record: dict, *, fingerprint: str = "",
+            flow: str = "") -> None:
+        """Index ``record`` under ``key`` and persist it durably.
+
+        ``fingerprint``/``flow`` ride along in the JSONL line so the store
+        stays self-describing (a human can grep what a key meant).
+        """
+        with self._lock:
+            self._mem[key] = record
+        if self.store is not None:
+            self.store.append_cache({
+                "cache_key": key,
+                "input": fingerprint,
+                "flow": flow,
+                "record": record,
+            })
+
+    def stats(self) -> dict:
+        """Hit/miss counters plus the entry count."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._mem)}

@@ -1,0 +1,231 @@
+"""ServeClient — the stdlib client for a running serve daemon.
+
+A thin, dependency-free wrapper over :mod:`http.client` speaking the
+daemon's JSON job API (:data:`~repro.serve.daemon.ROUTES`).  One client
+holds one keep-alive connection and transparently reconnects, so a tight
+submit loop does not pay a TCP handshake per request.
+
+The common path is one call::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient(port=8787)
+    record = client.run("adder", flow="b; rf; b", scale="tiny")
+
+``repro submit`` is this module behind a CLI.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import List, Optional
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A request the daemon rejected, a failed job, or an unreachable
+    daemon — the message carries the daemon's error text when there is
+    one."""
+
+    def __init__(self, message: str, status: int = 0,
+                 payload: Optional[dict] = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServeClient:
+    """A connection to one serve daemon.
+
+    ``host``/``port`` name the daemon; ``timeout`` bounds every socket
+    operation (long-polls add their wait on top).  Safe to use from one
+    thread at a time; give each thread its own client.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787, *,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _request_raw(self, method: str, path: str,
+                     body: Optional[dict] = None, *,
+                     timeout: Optional[float] = None):
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        last: Optional[Exception] = None
+        for _attempt in range(2):             # one transparent reconnect
+            conn = self._connect(timeout)
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                resp = conn.getresponse()
+                raw = resp.read()
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    socket.timeout, OSError) as exc:
+                self.close()
+                last = exc
+        else:
+            raise ServeError(f"daemon at {self.host}:{self.port} "
+                             f"unreachable: {last}")
+        if resp.status >= 400:
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                data = {}
+            message = data.get("error") or raw.decode(errors="replace")
+            raise ServeError(f"{method} {path} -> {resp.status}: {message}",
+                             status=resp.status,
+                             payload=data if isinstance(data, dict) else {})
+        return resp.status, raw
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None, *,
+                 timeout: Optional[float] = None) -> dict:
+        _status, raw = self._request_raw(method, path, body, timeout=timeout)
+        try:
+            return json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServeError(f"{method} {path}: daemon sent a non-JSON "
+                             f"body: {exc}")
+
+    def _connect(self, timeout: Optional[float]) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=timeout or self.timeout)
+        elif timeout is not None and self._conn.sock is not None:
+            self._conn.sock.settimeout(timeout)
+        return self._conn
+
+    def close(self) -> None:
+        """Drop the keep-alive connection (reopened on next use)."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the job API ---------------------------------------------------------
+
+    def info(self) -> dict:
+        """``GET /`` — service name, version and route table."""
+        return self._request("GET", "/")
+
+    def stats(self) -> dict:
+        """``GET /stats`` — cache hit/miss counters, job counts, pool
+        health."""
+        return self._request("GET", "/stats")
+
+    def submit(self, circuit: str = "", *, flow: str, scale: str = "small",
+               aag: str = "", builder: str = "", params: Optional[dict] = None,
+               name: str = "", verify: bool = False,
+               timeout: Optional[float] = None,
+               faults: Optional[list] = None) -> dict:
+        """``POST /jobs`` — submit one work unit, return the job summary.
+
+        Give exactly one circuit source: a registry ``circuit`` name,
+        inline ASCII-AIGER ``aag`` text, or a ``builder`` name (plus
+        ``params``).  ``flow`` is any flow script/name the daemon's
+        :func:`~repro.flow.resolve_flow` accepts; ``timeout`` is this
+        job's hard wall-time limit.  A cache hit comes back already
+        ``done`` with the stored record.
+        """
+        body: dict = {"flow": flow, "scale": scale}
+        if circuit:
+            body["circuit"] = circuit
+        if aag:
+            body["aag"] = aag
+        if builder:
+            body["builder"] = builder
+            if params:
+                body["params"] = params
+        if name:
+            body["name"] = name
+        if verify:
+            body["verify"] = True
+        if timeout is not None:
+            body["timeout"] = timeout
+        if faults:
+            body["faults"] = faults
+        return self._request("POST", "/jobs", body)
+
+    def status(self, job_id: str, *, wait: Optional[float] = None) -> dict:
+        """``GET /jobs/{id}`` — the job's current state; ``wait`` long-polls
+        up to that many seconds for it to finish first."""
+        path = f"/jobs/{job_id}"
+        if wait:
+            path += f"?wait={wait:g}"
+            return self._request("GET", path, timeout=self.timeout + wait)
+        return self._request("GET", path)
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> dict:
+        """Long-poll until the job is terminal; :class:`ServeError` if it
+        is still running after ``timeout`` seconds."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                job = self.status(job_id)
+                raise ServeError(f"job {job_id} still "
+                                 f"{job.get('status')!r} after {timeout:g}s",
+                                 payload=job)
+            job = self.status(job_id, wait=min(remaining, 30.0))
+            if job.get("status") in ("done", "error", "timeout", "crashed"):
+                return job
+
+    def result(self, job_id: str, timeout: float = 300.0) -> dict:
+        """The finished job's result record; :class:`ServeError` if the
+        job did not end ``done``."""
+        job = self.wait(job_id, timeout)
+        if job.get("status") != "done":
+            raise ServeError(
+                f"job {job_id} ended {job.get('status')!r}: "
+                f"{job.get('error') or job.get('record', {}).get('error', '')}",
+                payload=job)
+        return job["record"]
+
+    def run(self, circuit: str = "", *, flow: str, scale: str = "small",
+            timeout: float = 300.0, **kwargs) -> dict:
+        """Submit and wait in one call, returning the result record."""
+        job = self.submit(circuit, flow=flow, scale=scale, **kwargs)
+        if job.get("status") == "done" and "record" in job:
+            return job["record"]              # cache hit — already finished
+        return self.result(job["id"], timeout)
+
+    def events(self, job_id: str, *, wait: Optional[float] = None) -> List[dict]:
+        """``GET /jobs/{id}/events`` — the job's run-event stream as a
+        list of dicts (``wait`` long-polls for terminality first)."""
+        path = f"/jobs/{job_id}/events"
+        extra = 0.0
+        if wait:
+            path += f"?wait={wait:g}"
+            extra = wait
+        _status, raw = self._request_raw("GET", path,
+                                         timeout=self.timeout + extra)
+        text = raw.decode(errors="replace")
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+    def jobs(self) -> List[dict]:
+        """``GET /jobs`` — every job the daemon knows about."""
+        return self._request("GET", "/jobs").get("jobs", [])
+
+    def shutdown(self, *, drain: bool = True) -> dict:
+        """``POST /shutdown`` — ask the daemon to drain and exit."""
+        try:
+            return self._request("POST", "/shutdown", {"drain": drain})
+        finally:
+            self.close()

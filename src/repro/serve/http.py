@@ -1,0 +1,197 @@
+"""A minimal HTTP/1.1 JSON layer over ``asyncio`` streams.
+
+The serve daemon speaks plain HTTP/1.1 with JSON bodies — enough for any
+stock client (``curl``, ``http.client``, a browser fetch) — without adding
+a web-framework dependency: this module implements exactly the subset the
+job API needs.
+
+* :func:`read_request` parses one request (request line, headers,
+  ``Content-Length``-framed body) off a stream reader;
+* :class:`Response` carries status + JSON (or raw text) payload;
+* :func:`serve_connection` runs the keep-alive loop for one client
+  connection, mapping exceptions from the handler into ``500`` responses
+  so a bad request can never take the daemon down.
+
+Deliberately **not** implemented: chunked request bodies, multipart,
+compression, TLS.  The daemon is an internal service fronted by trusted
+clients; anything fancier belongs behind a reverse proxy.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import traceback
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["Request", "Response", "HttpError", "read_request",
+           "write_response", "serve_connection"]
+
+#: request framing limits — a trusted-client service still should not be
+#: taken out by one runaway line
+MAX_LINE = 64 * 1024
+MAX_HEADERS = 100
+MAX_BODY = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+    413: "Payload Too Large", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """An error with a designated HTTP status — handlers raise these to
+    produce clean JSON error responses (anything else becomes a 500)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request: method, split path, query, headers, body."""
+
+    method: str
+    path: str                                  # path without the query string
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The request body parsed as a JSON object (``{}`` when empty)."""
+        if not self.body:
+            return {}
+        try:
+            data = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(data, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return data
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked to reuse the connection (HTTP/1.1
+        default unless ``Connection: close``)."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One response: a status plus a JSON-serializable payload.
+
+    ``data`` may be a dict/list (sent as ``application/json``) or a
+    ``str`` (sent as ``text/plain`` — the NDJSON event stream uses this).
+    """
+
+    status: int = 200
+    data: object = None
+    content_type: str = ""
+
+    def encode(self) -> Tuple[bytes, str]:
+        if isinstance(self.data, str):
+            return self.data.encode(), self.content_type or "text/plain; charset=utf-8"
+        body = json.dumps(self.data if self.data is not None else {},
+                          sort_keys=True)
+        return (body + "\n").encode(), self.content_type or "application/json"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off ``reader``; ``None`` on a cleanly closed
+    connection, :class:`HttpError` on a malformed one."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line:
+        return None
+    if len(line) > MAX_LINE:
+        raise HttpError(400, "request line too long")
+    try:
+        method, target, _version = line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise HttpError(400, f"malformed request line: {line!r}")
+    parts = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(line) > MAX_LINE:
+            raise HttpError(400, "header line too long")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many headers")
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY:
+        raise HttpError(413, f"request body exceeds {MAX_BODY} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method=method.upper(), path=parts.path,
+                   query=dict(parse_qsl(parts.query)), headers=headers,
+                   body=body)
+
+
+async def write_response(writer: asyncio.StreamWriter, response: Response,
+                         *, keep_alive: bool = True) -> None:
+    """Serialize one response (with framing headers) onto ``writer``."""
+    body, ctype = response.encode()
+    reason = _REASONS.get(response.status, "Unknown")
+    head = (f"HTTP/1.1 {response.status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n")
+    writer.write(head.encode() + body)
+    await writer.drain()
+
+
+async def serve_connection(reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter,
+                           handler: Callable[[Request], Awaitable[Response]],
+                           ) -> None:
+    """The per-connection keep-alive loop: read, dispatch, respond.
+
+    A handler raising :class:`HttpError` produces its status; any other
+    exception produces a 500 carrying the traceback (trusted clients —
+    hiding the trace only slows debugging down).  The connection closes on
+    ``Connection: close``, a framing error, or EOF.
+    """
+    try:
+        while True:
+            try:
+                request = await read_request(reader)
+            except HttpError as exc:
+                await write_response(
+                    writer, Response(exc.status, {"error": exc.message}),
+                    keep_alive=False)
+                break
+            if request is None:
+                break
+            try:
+                response = await handler(request)
+            except HttpError as exc:
+                response = Response(exc.status, {"error": exc.message})
+            except Exception as exc:
+                response = Response(500, {
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "traceback": traceback.format_exc(),
+                })
+            keep = request.keep_alive
+            await write_response(writer, response, keep_alive=keep)
+            if not keep:
+                break
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass                                  # client went away mid-exchange
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,361 @@
+"""ServePool — the daemon's persistent supervised worker pool.
+
+The batch layer's pool (PR 7) lives exactly as long as one
+``BatchRunner.run`` call; a daemon needs the opposite: workers that stay
+warm *across* requests, scale **up on demand and down to zero when idle**,
+and execute one job at a time with per-job hard timeouts.  This module is
+that pool, built on the same worker primitives
+(:func:`~repro.batch.runner.spawn_pool_worker` /
+:func:`~repro.batch.runner.kill_pool_worker`, the
+``_worker_main``/``_execute_flow_job`` loop and its payload shape), so a
+job runs byte-for-byte the way a batch circuit does — same warm
+per-worker :class:`~repro.flow.context.FlowContext`, same failure
+isolation, same SIGKILL path for hung workers.
+
+Life cycle guarantees:
+
+* workers spawn lazily (submission time), up to ``jobs`` of them — an
+  idle daemon that has reaped its pool holds **zero** worker processes;
+* a job exceeding its hard ``timeout`` gets its worker SIGKILLed (never
+  joined first) and a ``timeout`` outcome; the pool shrinks and respawns
+  on demand;
+* a worker dying mid-job (crash, OOM-kill) costs exactly that job a
+  ``crashed`` outcome — queued jobs are unaffected;
+* after ``idle_timeout`` seconds with nothing queued or running, every
+  worker is reaped (``scale-to-zero``); the next submission respawns;
+* completion/progress callbacks are invoked on the supervisor thread and
+  may never kill it — exceptions are caught and warned about, exactly
+  like batch event sinks.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..batch.events import RunEvent
+from ..batch.runner import (
+    CircuitOutcome,
+    _PoolWorker,
+    kill_pool_worker,
+    spawn_pool_worker,
+)
+
+__all__ = ["ServePool"]
+
+
+@dataclass
+class _Job:
+    """One queued/in-flight pool job: the worker payload plus its hooks."""
+
+    payload: dict
+    on_event: Optional[Callable] = None      # called with RunEvent
+    on_done: Optional[Callable] = None       # called with CircuitOutcome
+    timeout: Optional[float] = None          # hard wall-clock limit
+    queued_at: float = field(default_factory=time.monotonic)
+
+
+class ServePool:
+    """A persistent, scale-to-zero pool executing flow jobs one at a time.
+
+    ``submit`` enqueues a worker payload (the
+    :meth:`~repro.batch.runner.BatchRunner` job shape: name/spec/scale/
+    flow/…); a supervisor thread dispatches to idle workers, spawning up
+    to ``jobs`` of them on demand.  ``timeout`` is the default hard
+    per-job limit (overridable per submission); ``idle_timeout`` reaps
+    the whole pool after that many idle seconds.  ``events`` is an
+    optional global sink additionally receiving every job's
+    :class:`~repro.batch.events.RunEvent` transitions.
+    """
+
+    def __init__(self, jobs: int = 2, *, n_patterns: int = 256, seed: int = 1,
+                 timeout: Optional[float] = None,
+                 idle_timeout: Optional[float] = None,
+                 events: Optional[Callable] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if idle_timeout is not None and idle_timeout < 0:
+            raise ValueError(f"idle_timeout must be >= 0, got {idle_timeout}")
+        self.max_workers = jobs
+        self.n_patterns = n_patterns
+        self.seed = seed
+        self.timeout = timeout
+        self.idle_timeout = idle_timeout
+        self.events = events
+        self._queue: Deque[_Job] = deque()
+        self._workers: List[_PoolWorker] = []   # supervisor thread only
+        self._lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._stop = False
+        self._idle_since = time.monotonic()
+        self._stats: Dict[str, int] = {
+            "dispatched": 0, "completed": 0, "failed": 0, "crashed": 0,
+            "timeouts": 0, "spawned": 0, "reaped": 0,
+        }
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_w, False)
+        self._wake_closed = False
+        self._thread = threading.Thread(target=self._supervise,
+                                        name="serve-pool", daemon=True)
+        self._thread.start()
+
+    # -- public API ----------------------------------------------------------
+
+    def submit(self, payload: dict, *, on_event: Optional[Callable] = None,
+               on_done: Optional[Callable] = None,
+               timeout: Optional[float] = None) -> None:
+        """Enqueue one job; hooks fire on the supervisor thread.
+
+        ``on_event`` receives ``started``/``finished``/``timeout``/
+        ``crashed`` :class:`RunEvent` transitions for this job;
+        ``on_done`` receives the final
+        :class:`~repro.batch.runner.CircuitOutcome`.  ``timeout``
+        overrides the pool default for this job only.
+        """
+        job = _Job(payload=payload, on_event=on_event, on_done=on_done,
+                   timeout=timeout if timeout is not None else self.timeout)
+        with self._lock:
+            if self._stop:
+                raise RuntimeError("pool is shut down")
+            self._queue.append(job)
+            self._idle.clear()
+        self._wake()
+
+    def stats(self) -> dict:
+        """Counters plus live pool state (worker/busy/queue depth)."""
+        with self._lock:
+            out = dict(self._stats)
+            out["workers"] = len(self._workers)
+            out["busy"] = sum(1 for w in self._workers
+                              if w.payload is not None)
+            out["queue_depth"] = len(self._queue)
+            out["max_workers"] = self.max_workers
+        return out
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and no job is in flight (or
+        ``timeout`` seconds elapsed); returns whether the pool drained."""
+        return self._idle.wait(timeout)
+
+    def shutdown(self, *, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the pool: optionally drain in-flight work first, then kill
+        every worker and join the supervisor.  Idempotent."""
+        if drain:
+            self.drain(timeout)
+        with self._lock:
+            self._stop = True
+        self._wake()
+        self._thread.join(10)
+
+    # -- supervisor internals ------------------------------------------------
+
+    def _wake(self) -> None:
+        # check-and-write under the lock: once the supervisor closed the
+        # pipe the fd number may belong to an unrelated open file.  The
+        # write fd is non-blocking, so holding the lock cannot stall.
+        with self._lock:
+            if self._wake_closed:
+                return
+            try:
+                os.write(self._wake_w, b"x")
+            except OSError:
+                pass
+
+    def _emit(self, job: _Job, kind: str, *, worker: int = 0,
+              outcome: Optional[CircuitOutcome] = None) -> None:
+        """One event to the job's hook and the global sink; never raises."""
+        payload = job.payload
+        if outcome is not None:
+            event = RunEvent(kind=kind, circuit=outcome.name,
+                             index=outcome.index, attempt=outcome.attempts,
+                             status=outcome.status, seconds=outcome.seconds,
+                             worker=outcome.worker, at=time.time())
+        else:
+            event = RunEvent(kind=kind, circuit=payload["name"],
+                             index=payload["index"],
+                             attempt=payload.get("attempt", 1),
+                             worker=worker, at=time.time())
+        for sink in (job.on_event, self.events):
+            if sink is None:
+                continue
+            try:
+                sink(event)
+            except Exception as exc:
+                warnings.warn(f"serve pool event hook failed on {kind!r}: {exc}")
+
+    def _finish(self, job: _Job, outcome: CircuitOutcome, kind: str) -> None:
+        with self._lock:
+            self._stats["completed"] += 1
+            if outcome.status != "ok":
+                self._stats["failed"] += 1
+        self._emit(job, kind, outcome=outcome)
+        if job.on_done is not None:
+            try:
+                job.on_done(outcome)
+            except Exception as exc:
+                warnings.warn(f"serve pool completion hook failed: {exc}")
+
+    def _drop_worker(self, worker: _PoolWorker) -> None:
+        kill_pool_worker(worker)
+        with self._lock:
+            self._workers.remove(worker)
+
+    def _dispatch(self) -> None:
+        """Hand queued jobs to idle workers, spawning up to the cap."""
+        while True:
+            with self._lock:
+                if not self._queue:
+                    return
+                idle = [w for w in self._workers if w.payload is None]
+                can_spawn = len(self._workers) < self.max_workers
+                if not idle and not can_spawn:
+                    return
+                job = self._queue.popleft()
+            if idle:
+                worker = idle[0]
+            else:
+                worker = spawn_pool_worker(self.n_patterns, self.seed)
+                with self._lock:
+                    self._workers.append(worker)
+                    self._stats["spawned"] += 1
+            try:
+                worker.conn.send(job.payload)
+            except (BrokenPipeError, OSError):
+                # worker died while idle: drop it and retry the job
+                self._drop_worker(worker)
+                with self._lock:
+                    self._queue.appendleft(job)
+                continue
+            worker.payload = job
+            worker.started = time.monotonic()
+            with self._lock:
+                self._stats["dispatched"] += 1
+            self._emit(job, "started", worker=worker.proc.pid or 0)
+
+    def _collect(self, ready) -> None:
+        """Pull outcomes (or detect deaths) off ready worker pipes."""
+        with self._lock:
+            by_conn = {w.conn: w for w in self._workers}
+        for conn in ready:
+            worker = by_conn.get(conn)
+            if worker is None or worker.payload is None:
+                continue
+            job: _Job = worker.payload
+            started = worker.started
+            try:
+                outcome = conn.recv()
+            except (EOFError, OSError):
+                pid = worker.proc.pid
+                worker.payload = None
+                self._drop_worker(worker)
+                with self._lock:
+                    self._stats["crashed"] += 1
+                outcome = CircuitOutcome(
+                    name=job.payload["name"], index=job.payload["index"],
+                    status="crashed", seconds=time.monotonic() - started,
+                    worker=pid or 0,
+                    error=f"worker {pid} died mid-job")
+                self._finish(job, outcome, "crashed")
+                continue
+            worker.payload = None
+            self._finish(job, outcome, "finished")
+
+    def _expire(self) -> None:
+        """SIGKILL workers whose job exceeded its hard timeout."""
+        now = time.monotonic()
+        with self._lock:
+            expired = [w for w in self._workers
+                       if w.payload is not None
+                       and w.payload.timeout is not None
+                       and now - w.started >= w.payload.timeout]
+        for worker in expired:
+            job: _Job = worker.payload
+            elapsed = now - worker.started
+            pid = worker.proc.pid
+            worker.payload = None
+            self._drop_worker(worker)
+            with self._lock:
+                self._stats["timeouts"] += 1
+            outcome = CircuitOutcome(
+                name=job.payload["name"], index=job.payload["index"],
+                status="timeout", seconds=elapsed, worker=pid or 0,
+                error=f"killed after exceeding the {job.timeout}s job timeout")
+            self._finish(job, outcome, "timeout")
+
+    def _reap_idle(self) -> None:
+        """Scale the pool to zero once it has been idle long enough."""
+        with self._lock:
+            if (self.idle_timeout is None or self._queue
+                    or any(w.payload is not None for w in self._workers)
+                    or not self._workers
+                    or time.monotonic() - self._idle_since < self.idle_timeout):
+                return
+            victims = list(self._workers)
+        for worker in victims:
+            self._drop_worker(worker)
+            with self._lock:
+                self._stats["reaped"] += 1
+
+    def _supervise(self) -> None:
+        from multiprocessing.connection import wait as _conn_wait
+
+        while True:
+            self._dispatch()
+            with self._lock:
+                stop = self._stop
+                busy = [w for w in self._workers if w.payload is not None]
+                queued = bool(self._queue)
+                if not busy and not queued:
+                    self._idle.set()
+                else:
+                    self._idle_since = time.monotonic()
+            if stop:
+                break
+            # sleep until a result, a timeout deadline, the idle-reap
+            # deadline, or a wake byte from submit()/shutdown()
+            deadlines = [w.started + w.payload.timeout for w in busy
+                         if w.payload.timeout is not None]
+            if (self.idle_timeout is not None and not busy and not queued
+                    and self._workers):
+                deadlines.append(self._idle_since + self.idle_timeout)
+            tick = None
+            if deadlines:
+                tick = max(0.0, min(deadlines) - time.monotonic())
+            ready = _conn_wait([w.conn for w in busy] + [self._wake_r],
+                               timeout=tick)
+            if self._wake_r in ready:
+                try:
+                    os.read(self._wake_r, 4096)
+                except OSError:
+                    pass
+                ready = [r for r in ready if r is not self._wake_r]
+            self._collect(ready)
+            self._expire()
+            self._reap_idle()
+        # orderly stop: kill whatever is left (drain happened in shutdown)
+        with self._lock:
+            victims = list(self._workers)
+            self._workers.clear()
+            abandoned = list(self._queue)
+            self._queue.clear()
+        for worker in victims:
+            kill_pool_worker(worker)
+        for job in abandoned:
+            outcome = CircuitOutcome(
+                name=job.payload["name"], index=job.payload["index"],
+                status="error", error="pool shut down before dispatch")
+            self._finish(job, outcome, "finished")
+        self._idle.set()
+        with self._lock:
+            self._wake_closed = True
+            os.close(self._wake_r)
+            os.close(self._wake_w)

@@ -22,7 +22,8 @@ def _load_checker():
 
 
 def test_docs_tree_exists():
-    for page in ("index.md", "architecture.md", "flow-dsl.md", "batch.md"):
+    for page in ("index.md", "architecture.md", "flow-dsl.md", "batch.md",
+                 "serve.md"):
         assert (DOCS / page).exists(), f"docs/{page} missing"
 
 
@@ -73,3 +74,20 @@ def test_readme_links_the_docs_site():
     assert "docs/architecture.md" in text
     assert "docs/flow-dsl.md" in text
     assert "docs/batch.md" in text
+    assert "docs/serve.md" in text
+
+
+def test_serve_docs_cover_every_route():
+    """docs/serve.md documents the daemon's whole HTTP surface — the
+    route table cannot rot against ``repro.serve.ROUTES``."""
+    from repro.serve import ROUTES
+
+    text = (DOCS / "serve.md").read_text()
+    for route in ROUTES:
+        assert f"`{route}`" in text, f"route {route} undocumented"
+
+
+def test_serve_docs_define_the_cache_key():
+    text = (DOCS / "serve.md").read_text()
+    for needle in ("cache key", "fingerprint", "canonical"):
+        assert needle in text.lower()
