@@ -1,0 +1,111 @@
+"""Sequential-engine benchmark: BMC depth sweep and register-sweep timing.
+
+On the generated sequential families at the selected scale:
+
+* ``bmc_cec`` self-equivalence over a depth sweep — incremental frames on
+  one persistent solver, so seconds-per-frame should stay roughly flat as
+  the bound grows (learned clauses carry across depths);
+* every BMC verdict is cross-checked against the brute-force reference:
+  combinational CEC of the time-unrolled networks must agree at every
+  swept depth;
+* ``register_sweep`` wall time per circuit, with the output proven
+  sequentially equivalent (``seq_cec``) before the timing counts;
+* ``k_induction_cec`` proof time and the ``k`` that closed each family.
+
+Results are written to ``benchmarks/results/BENCH_seq.json``.  Run
+standalone (``python benchmarks/bench_seq.py``) or under pytest.
+"""
+
+import json
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, SCALE
+
+from repro.circuits import SEQUENTIAL, build
+from repro.sat import cec
+from repro.seq import bmc_cec, k_induction_cec, register_sweep, seq_cec, unroll
+
+#: frame counts of the BMC depth sweep
+BMC_DEPTHS = (2, 4, 8)
+#: depths at which the unrolled combinational reference double-checks BMC
+REFERENCE_DEPTHS = (2, 4)
+
+
+def measure(scale: str = SCALE) -> dict:
+    circuits = []
+    for name in SEQUENTIAL:
+        ntk = build(name, "tiny" if scale == "tiny" else "small")
+        entry = {
+            "circuit": name,
+            "gates": ntk.num_gates(),
+            "registers": ntk.num_registers(),
+        }
+
+        # -- BMC depth sweep (self-miter: two fresh builds) ---------------
+        sweep = {}
+        for depth in BMC_DEPTHS:
+            t0 = time.perf_counter()
+            res = bmc_cec(ntk, build(name, "tiny" if scale == "tiny" else "small"),
+                          depth)
+            sweep[depth] = {
+                "seconds": round(time.perf_counter() - t0, 6),
+                "verdict": res.equivalent,
+            }
+            assert res.equivalent is True, (name, depth, res.method)
+        entry["bmc_depth_sweep"] = {str(d): v for d, v in sweep.items()}
+
+        # -- agreement with the unrolled combinational reference ----------
+        agree = True
+        for depth in REFERENCE_DEPTHS:
+            reference = bool(cec(unroll(ntk, depth), unroll(ntk, depth)))
+            agree = agree and (reference == sweep[depth]["verdict"])
+        entry["unrolled_reference_agrees"] = agree
+        assert agree, f"{name}: BMC disagrees with unrolled comb CEC"
+
+        # -- register sweep ----------------------------------------------
+        t0 = time.perf_counter()
+        swept, merged = register_sweep(ntk)
+        entry["register_sweep_seconds"] = round(time.perf_counter() - t0, 6)
+        entry["registers_merged"] = merged
+        verdict = seq_cec(ntk, swept)
+        entry["register_sweep_sound"] = verdict.equivalent is not False
+        assert entry["register_sweep_sound"], f"{name}: sweep broke behaviour"
+
+        # -- k-induction proof -------------------------------------------
+        t0 = time.perf_counter()
+        ind = k_induction_cec(
+            ntk, build(name, "tiny" if scale == "tiny" else "small"), max_k=8)
+        entry["k_induction_seconds"] = round(time.perf_counter() - t0, 6)
+        entry["k_induction_verdict"] = ind.equivalent
+        entry["k_induction_method"] = ind.method
+        circuits.append(entry)
+
+    return {
+        "scale": scale,
+        "bmc_depths": list(BMC_DEPTHS),
+        "circuits": circuits,
+    }
+
+
+def write_json(result: dict) -> None:
+    path = RESULTS_DIR / "BENCH_seq.json"
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {path}")
+    print(json.dumps(result, indent=2))
+
+
+@pytest.mark.benchmark(group="seq")
+def test_bench_seq(benchmark):
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    write_json(result)
+    for entry in result["circuits"]:
+        assert entry["unrolled_reference_agrees"], entry["circuit"]
+        assert entry["register_sweep_sound"], entry["circuit"]
+        for stats in entry["bmc_depth_sweep"].values():
+            assert stats["verdict"] is True, entry["circuit"]
+
+
+if __name__ == "__main__":
+    write_json(measure())

@@ -17,6 +17,11 @@ Usage::
 
     PYTHONPATH=src python scripts/kill_resume_smoke.py [workdir]
 
+``REPRO_SMOKE_SUITE`` / ``REPRO_SMOKE_FLOW`` override the suite and flow
+(defaults: ``epfl-mini`` with ``b; rf``) — CI runs the smoke twice, once
+combinational and once over ``seq-mini`` with a sequential flow, so the
+resume machinery is exercised on register-bearing circuits too.
+
 Exits non-zero (with a diagnostic) on any violated property.
 """
 
@@ -39,8 +44,8 @@ from repro.batch import (      # noqa: E402  (path bootstrap above)
     read_events,
 )
 
-SUITE = "epfl-mini"
-FLOW = "b; rf"
+SUITE = os.environ.get("REPRO_SMOKE_SUITE", "epfl-mini")
+FLOW = os.environ.get("REPRO_SMOKE_FLOW", "b; rf")
 
 _CHILD = """
 import sys
@@ -71,7 +76,8 @@ def main() -> None:
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + \
         env.get("PYTHONPATH", "")
 
-    print(f"[1/4] starting 2-worker batch (store={store_path}) ...")
+    print(f"[1/4] starting 2-worker batch over {SUITE} "
+          f"with {FLOW!r} (store={store_path}) ...")
     proc = subprocess.Popen([sys.executable, "-c", _CHILD, str(store_path),
                              str(events_path)], env=env)
     try:

@@ -35,6 +35,14 @@ Quickstart::
 
     with ServeDaemon(port=0, jobs=2, store="serve.jsonl") as daemon:
         record = ServeClient(port=daemon.port).run("adder", flow="compress2rs")
+
+    # sequential circuits: registers, BMC / k-induction CEC, register sweep
+    from repro import load, seq_cec
+    from repro.seq import register_sweep, retime_forward
+
+    counter = load("counter", scale="tiny")     # register-bearing benchmark
+    swept, merged = register_sweep(counter)
+    assert seq_cec(counter, swept)              # sequential equivalence proof
 """
 
 from .networks import (
@@ -80,6 +88,7 @@ from .batch import (
     get_suite,
 )
 from .serve import ServeClient, ServeDaemon
+from .seq import SeqCecResult, bmc_cec, k_induction_cec, seq_cec
 
 __version__ = "1.2.0"
 
@@ -129,5 +138,10 @@ __all__ = [
     "resyn2rs",
     "sweep",
     "cec",
+    # sequential API
+    "SeqCecResult",
+    "seq_cec",
+    "bmc_cec",
+    "k_induction_cec",
     "__version__",
 ]

@@ -9,8 +9,10 @@ data so a suite can be sharded across worker processes verbatim.
 
 Built-in suites cover the paper's evaluation sets (``epfl-arithmetic``,
 ``epfl-control``, ``epfl-all``), a fast ``epfl-mini`` subset for smokes,
-and generated word-level families (``wordlevel-adders``,
-``wordlevel-multipliers``, ``wordlevel-squares``).  User suites load from
+generated word-level families (``wordlevel-adders``,
+``wordlevel-multipliers``, ``wordlevel-squares``), and generated sequential
+families (``seq-counters``, ``seq-registers``, ``seq-pipelines``,
+``seq-fsms``, plus the ``seq-mini`` CI smoke set).  User suites load from
 TOML or JSON manifests::
 
     name = "my-suite"
@@ -229,6 +231,34 @@ def _builtin_suites() -> Dict[str, Suite]:
               "generated array-multiplier family across widths", "small"),
         Suite("wordlevel-squares", _family("square", "width", (4, 6, 8)),
               "generated squarer family across widths", "small"),
+        Suite("seq-counters", _family("counter", "width", (4, 8, 16, 32)),
+              "generated enabled up-counter family across widths", "small"),
+        Suite("seq-registers",
+              _family("shiftreg", "depth", (8, 16, 32))
+              + _family("lfsr", "width", (8, 16, 24)),
+              "generated shift-register and LFSR families", "small"),
+        Suite("seq-pipelines",
+              [SuiteEntry(name=f"pipeline-w{w}s{s}", builder="pipeline",
+                          params=(("stages", s), ("width", w)))
+               for w, s in ((4, 2), (8, 2), (8, 3), (16, 4))],
+              "generated pipelined ripple-carry adders", "small"),
+        Suite("seq-fsms",
+              [SuiteEntry(name=f"fsm-{p}", builder="fsm",
+                          params=(("pattern", p),))
+               for p in ("101", "1101", "11010011")],
+              "generated sequence-detector FSMs", "small"),
+        Suite("seq-mini",
+              [SuiteEntry(name="counter-w4", builder="counter",
+                          params=(("width", 4),)),
+               SuiteEntry(name="shiftreg-d6", builder="shiftreg",
+                          params=(("depth", 6),)),
+               SuiteEntry(name="lfsr-w5", builder="lfsr",
+                          params=(("width", 5),)),
+               SuiteEntry(name="pipeline-w4s2", builder="pipeline",
+                          params=(("stages", 2), ("width", 4))),
+               SuiteEntry(name="fsm-1101", builder="fsm",
+                          params=(("pattern", "1101"),))],
+              "five small sequential circuits for smokes and CI", "tiny"),
     ]
     return {s.name: s for s in suites}
 
@@ -252,11 +282,11 @@ def get_suite(spec: Union[str, Path, Suite]) -> Suite:
         if not path.exists():
             raise ValueError(f"suite manifest {text!r} does not exist")
         return Suite.from_file(path)
-    from ..circuits import ALL_BENCHMARKS
+    from ..circuits import ALL_BENCHMARKS, SEQUENTIAL
 
     circuits = [c.strip() for c in text.split(",") if c.strip()]
-    if circuits and all(c in ALL_BENCHMARKS or c.endswith(".aag")
-                        for c in circuits):
+    if circuits and all(c in ALL_BENCHMARKS or c in SEQUENTIAL
+                        or c.endswith(".aag") for c in circuits):
         return Suite.of_circuits("adhoc", circuits,
                                  description="ad-hoc circuit list")
     raise ValueError(

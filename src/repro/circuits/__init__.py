@@ -2,18 +2,20 @@
 
 from pathlib import Path
 
-from .epfl import ALL_BENCHMARKS, ARITHMETIC, CONTROL, build, suite
-from . import arithmetic, control, wordlevel
+from .epfl import ALL_BENCHMARKS, ARITHMETIC, CONTROL, SEQUENTIAL, build, suite
+from . import arithmetic, control, sequential, wordlevel
 
 __all__ = [
     "ALL_BENCHMARKS",
     "ARITHMETIC",
     "CONTROL",
+    "SEQUENTIAL",
     "build",
     "load",
     "suite",
     "arithmetic",
     "control",
+    "sequential",
     "wordlevel",
 ]
 
@@ -35,7 +37,7 @@ def load(circuit, scale: str = "small"):
         from ..io import read_aag
 
         return read_aag(path.read_text())
-    if str(circuit) in ALL_BENCHMARKS:
+    if str(circuit) in ALL_BENCHMARKS or str(circuit) in SEQUENTIAL:
         return build(str(circuit), scale)
     raise ValueError(
         f"unknown circuit {circuit!r} (not a benchmark name or .aag file)")

@@ -7,7 +7,10 @@
 * ``medium`` — closer to the original EPFL widths, slower.
 
 The names mirror the EPFL combinational benchmark suite: ten arithmetic
-circuits and ten random/control circuits.
+circuits and ten random/control circuits.  A fifth group of register-bearing
+generators (:data:`SEQUENTIAL`) shares the same ``build``/``suite``
+machinery but is kept out of :data:`ALL_BENCHMARKS` — the combinational
+harnesses iterate that list and would trip the comb-only engine guards.
 """
 
 from __future__ import annotations
@@ -17,8 +20,10 @@ from typing import Callable, Dict, List
 from ..networks.aig import Aig
 from . import arithmetic as arith
 from . import control as ctl
+from . import sequential as seq
 
-__all__ = ["ARITHMETIC", "CONTROL", "ALL_BENCHMARKS", "build", "suite"]
+__all__ = ["ARITHMETIC", "CONTROL", "SEQUENTIAL", "ALL_BENCHMARKS",
+           "build", "suite"]
 
 # name -> scale -> kwargs
 _SIZES: Dict[str, Dict[str, dict]] = {
@@ -42,6 +47,15 @@ _SIZES: Dict[str, Dict[str, dict]] = {
     "priority":   {"tiny": {"lines": 16}, "small": {"lines": 64}, "medium": {"lines": 128}},
     "router":     {"tiny": {}, "small": {}, "medium": {}},
     "voter":      {"tiny": {"inputs": 15}, "small": {"inputs": 49}, "medium": {"inputs": 101}},
+    "counter":    {"tiny": {"width": 4},  "small": {"width": 16}, "medium": {"width": 48}},
+    "shiftreg":   {"tiny": {"depth": 6},  "small": {"depth": 24}, "medium": {"depth": 96}},
+    "lfsr":       {"tiny": {"width": 5},  "small": {"width": 16}, "medium": {"width": 48}},
+    "pipeline":   {"tiny": {"width": 4, "stages": 2},
+                   "small": {"width": 12, "stages": 3},
+                   "medium": {"width": 32, "stages": 4}},
+    "fsm":        {"tiny": {"pattern": "1101"},
+                   "small": {"pattern": "11010011"},
+                   "medium": {"pattern": "1101001110001011"}},
 }
 
 _BUILDERS: Dict[str, Callable[..., Aig]] = {
@@ -65,6 +79,11 @@ _BUILDERS: Dict[str, Callable[..., Aig]] = {
     "priority": ctl.priority_circuit,
     "router": ctl.router,
     "voter": ctl.voter,
+    "counter": seq.counter,
+    "shiftreg": seq.shift_register,
+    "lfsr": seq.lfsr,
+    "pipeline": seq.pipelined_adder,
+    "fsm": seq.sequence_detector,
 }
 
 ARITHMETIC: List[str] = [
@@ -74,6 +93,8 @@ CONTROL: List[str] = [
     "arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl",
     "priority", "router", "voter",
 ]
+SEQUENTIAL: List[str] = ["counter", "shiftreg", "lfsr", "pipeline", "fsm"]
+#: the combinational suite — sequential names stay separate on purpose
 ALL_BENCHMARKS: List[str] = ARITHMETIC + CONTROL
 
 

@@ -1,0 +1,151 @@
+"""Generated sequential benchmark families.
+
+Register-bearing analogues of the combinational EPFL-style generators:
+counters, shift registers, LFSRs, pipelined datapaths and FSM-style
+sequence detectors.  Every builder returns an :class:`~repro.networks.aig.Aig`
+whose registers are created through the ``create_ro``/``create_ri`` pairing,
+so the circuits flow through the same batch, flow and verification layers
+as the combinational suite — but exercise the sequential engines
+(:mod:`repro.seq`) instead of the comb-only ones.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..networks.aig import Aig
+from .wordlevel import add_words
+
+__all__ = [
+    "counter",
+    "shift_register",
+    "lfsr",
+    "pipelined_adder",
+    "sequence_detector",
+]
+
+
+def counter(width: int = 8) -> Aig:
+    """``width``-bit binary up-counter with enable.
+
+    State increments by one each cycle ``en`` is high; the count bits are
+    the POs.  The next-state logic is a ripple half-adder chain, so depth
+    grows linearly in ``width`` — retiming and register sweep both have
+    something to chew on.
+    """
+    ntk = Aig()
+    en = ntk.create_pi("en")
+    state = [ntk.create_ro(f"c{i}", init=0) for i in range(width)]
+    carry = en
+    nexts: List[int] = []
+    for s in state:
+        nexts.append(ntk.create_xor(s, carry))
+        carry = ntk.create_and(s, carry)
+    for i, nx in enumerate(nexts):
+        ntk.create_po(nx, f"count{i}")
+    for nx in nexts:
+        ntk.create_ri(nx)
+    return ntk
+
+
+def shift_register(depth: int = 8, taps: int = 2) -> Aig:
+    """Serial-in shift register of ``depth`` stages with XOR tap outputs.
+
+    ``sout`` is the delayed serial input; ``taps`` additional POs XOR
+    evenly spaced stages (parity probes that make the outputs depend on
+    several registers at once).
+    """
+    ntk = Aig()
+    din = ntk.create_pi("din")
+    state = [ntk.create_ro(f"s{i}", init=0) for i in range(depth)]
+    ntk.create_po(state[-1], "sout")
+    step = max(1, depth // max(1, taps))
+    for t in range(taps):
+        lo, hi = (t * step) % depth, (t * step + step // 2 + 1) % depth
+        ntk.create_po(ntk.create_xor(state[lo], state[hi]), f"tap{t}")
+    ntk.create_ri(din)
+    for s in state[:-1]:
+        ntk.create_ri(s)
+    return ntk
+
+
+def lfsr(width: int = 8) -> Aig:
+    """Fibonacci LFSR with enable; one register initialised to 1.
+
+    Feedback XORs the last stage with a mid tap; ``init=1`` on stage 0
+    keeps the register state out of the all-zero lock-up, giving the
+    sequential simulator and BMC non-trivial reachable-state structure.
+    """
+    ntk = Aig()
+    en = ntk.create_pi("en")
+    state = [ntk.create_ro(f"l{i}", init=1 if i == 0 else 0)
+             for i in range(width)]
+    fb = ntk.create_xor(state[-1], state[max(0, width // 2 - 1)])
+    if width > 2:
+        fb = ntk.create_xor(fb, state[1])
+    for i in range(width):
+        ntk.create_po(state[i], f"q{i}")
+    shifted = [fb] + state[:-1]
+    for held, nx in zip(state, shifted):
+        ntk.create_ri(ntk.create_mux(en, nx, held))
+    return ntk
+
+
+def pipelined_adder(width: int = 8, stages: int = 2) -> Aig:
+    """Registered ripple-carry adder with a ``stages``-deep output pipeline.
+
+    Operands are registered on the way in, added combinationally, and the
+    ``width + 1`` sum bits ripple through ``stages - 1`` further register
+    ranks — deep register chains with multi-fanout state, the shape BMC
+    depth sweeps and register sweep get exercised on.
+    """
+    if stages < 1:
+        raise ValueError("pipelined_adder needs stages >= 1")
+    ntk = Aig()
+    a = [ntk.create_pi(f"a{i}") for i in range(width)]
+    b = [ntk.create_pi(f"b{i}") for i in range(width)]
+    ra = [ntk.create_ro(f"ra{i}", init=0) for i in range(width)]
+    rb = [ntk.create_ro(f"rb{i}", init=0) for i in range(width)]
+    total = add_words(ntk, ra, rb)
+    ranks = [total]
+    for s in range(1, stages):
+        ranks.append([ntk.create_ro(f"p{s}_{i}", init=0)
+                      for i in range(len(total))])
+    for i, bit in enumerate(ranks[-1]):
+        ntk.create_po(bit, f"sum{i}")
+    for ai in a:
+        ntk.create_ri(ai)
+    for bi in b:
+        ntk.create_ri(bi)
+    for prev in ranks[:-1]:
+        for bit in prev:
+            ntk.create_ri(bit)
+    return ntk
+
+
+def sequence_detector(pattern: str = "1101") -> Aig:
+    """Moore-style FSM that raises ``match`` after seeing ``pattern``.
+
+    Implemented as a history window over the serial input plus a
+    registered match flag (the Moore output register), so the PO depends
+    on the state only — the classic FSM shape for sequential sweep and
+    induction tests.
+    """
+    if not pattern or set(pattern) - {"0", "1"}:
+        raise ValueError(f"pattern must be a non-empty 0/1 string, got {pattern!r}")
+    k = len(pattern)
+    ntk = Aig()
+    din = ntk.create_pi("din")
+    hist = [ntk.create_ro(f"h{i}", init=0) for i in range(k)]
+    flag = ntk.create_ro("match_r", init=0)
+    hit = ntk.const1
+    # hist[0] is the most recent bit; pattern[-1] is the most recent symbol
+    for bit, sym in zip(hist, reversed(pattern)):
+        want = bit if sym == "1" else bit ^ 1
+        hit = ntk.create_and(hit, want)
+    ntk.create_po(flag, "match")
+    ntk.create_ri(din)
+    for h in hist[:-1]:
+        ntk.create_ri(h)
+    ntk.create_ri(hit)
+    return ntk

@@ -132,7 +132,11 @@ def cmd_info(args) -> int:
     from .analysis import format_stats, network_stats
 
     ntk = _load(args.circuit, args.scale)
-    print(f"{args.circuit}: {ntk.num_pis()} PIs, {ntk.num_pos()} POs, "
+    regs = ntk.num_registers() if hasattr(ntk, "num_registers") else 0
+    print(f"{args.circuit}: {ntk.num_real_pis()} PIs, {ntk.num_pos()} POs, "
+          f"{regs} registers, {ntk.num_gates()} gates, depth {ntk.depth()}"
+          if regs else
+          f"{args.circuit}: {ntk.num_pis()} PIs, {ntk.num_pos()} POs, "
           f"{ntk.num_gates()} gates, depth {ntk.depth()}")
     print(format_stats(network_stats(ntk)))
     return 0
@@ -156,9 +160,11 @@ def cmd_suite(args) -> int:
           + (f" — {suite.description}" if suite.description else ""))
     for entry in suite:
         ntk = entry.build(scale)
+        regs = ntk.num_registers() if hasattr(ntk, "num_registers") else 0
         print(f"{entry.name:14s} {entry.describe():24s} "
               f"pis={ntk.num_pis():4d} pos={ntk.num_pos():4d} "
-              f"gates={ntk.num_gates():5d} depth={ntk.depth():4d}")
+              f"gates={ntk.num_gates():5d} depth={ntk.depth():4d}"
+              + (f" regs={regs:4d}" if regs else ""))
     return 0
 
 

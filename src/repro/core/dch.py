@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-from ..networks.base import LogicNetwork
+from ..networks.base import LogicNetwork, require_combinational
 from ..networks.mixed import MixedNetwork
 from ..opt.equivalence import functional_classes
 from .choice import ChoiceNetwork
@@ -34,6 +34,8 @@ def build_dch(snapshots: Sequence[LogicNetwork], sat_verify: bool = True,
     """
     if not snapshots:
         raise ValueError("need at least one snapshot")
+    for snap in snapshots:
+        require_combinational(snap, "build_dch")
     base = snapshots[0]
     for s in snapshots[1:]:
         if s.num_pis() != base.num_pis() or s.num_pos() != base.num_pos():

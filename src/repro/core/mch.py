@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple, Type
 
 from ..cuts.database import CutDatabase
-from ..networks.base import GateType, LogicNetwork
+from ..networks.base import GateType, LogicNetwork, require_combinational
 from ..networks.mixed import MixedNetwork
 from ..synthesis.strategies import StrategyLibrary, synthesize_candidates
 from .choice import ChoiceNetwork
@@ -69,6 +69,7 @@ def build_mch(ntk: LogicNetwork, params: Optional[MchParams] = None) -> ChoiceNe
     candidate structures are added alongside as choice nodes.  The result is
     ready for choice-aware technology mapping.
     """
+    require_combinational(ntk, "build_mch")
     params = params or MchParams()
     reps = params.representations or _default_representations()
 

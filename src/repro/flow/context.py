@@ -79,7 +79,10 @@ def state_summary(state) -> str:
     if kind == "netlist":
         return (f"{state.num_cells()} cells, area {state.area():.2f} µm², "
                 f"delay {state.delay():.2f} ps")
-    return f"{type(state).__name__}: {state.num_gates()} gates, depth {state.depth()}"
+    regs = f", {state.num_registers()} regs" if getattr(
+        state, "has_registers", lambda: False)() else ""
+    return (f"{type(state).__name__}: {state.num_gates()} gates, "
+            f"depth {state.depth()}{regs}")
 
 
 # ---------------------------------------------------------------------- #
@@ -220,6 +223,12 @@ class FlowContext:
         from ..sat.cec import cec as run_cec
 
         na, nb = self.as_logic(a), self.as_logic(b)
+        if na.has_registers() or nb.has_registers():
+            # sequential states verify sequentially: k-induction with a
+            # bounded-BMC fallback (see repro.seq.seq_cec)
+            from ..seq import seq_cec
+
+            return seq_cec(na, nb)
         if na.num_pis() != nb.num_pis():
             return run_cec(na, nb)
         if na is not a or na.num_pis() <= sim_limit:

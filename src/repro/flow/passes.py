@@ -111,7 +111,7 @@ def _mig_rewrite(ntk, ctx: FlowContext, rounds=2):
     return mig_depth_rewrite(ntk, rounds=rounds)
 
 
-@register_pass("cv", aliases=("convert",),
+@register_pass("cv", aliases=("convert",), sequential=True,
                args=(ArgSpec("rep", "r", str, "aig", "target representation"),),
                help="convert the network to another representation")
 def _convert(ntk, ctx: FlowContext, rep="aig"):
@@ -215,7 +215,7 @@ def _mch(ntk, ctx: FlowContext, reps="xmg", ratio=1.0, cut_size=4, cut_limit=8):
 # verification / instrumentation                                          #
 # ---------------------------------------------------------------------- #
 
-@register_pass("cec", aliases=("verify",),
+@register_pass("cec", aliases=("verify",), sequential=True,
                inputs=("logic", "choice", "lut", "netlist"), verifying=True,
                help="prove the current state equivalent to the flow input")
 def _cec(state, ctx: FlowContext):
@@ -227,7 +227,7 @@ def _cec(state, ctx: FlowContext):
     return state
 
 
-@register_pass("ps", aliases=("print_stats",),
+@register_pass("ps", aliases=("print_stats",), sequential=True,
                inputs=("logic", "choice", "lut", "netlist"),
                help="print a one-line summary of the current state")
 def _print_stats(state, ctx: FlowContext):
@@ -237,10 +237,69 @@ def _print_stats(state, ctx: FlowContext):
     return state
 
 
-@register_pass("ckpt", aliases=("checkpoint",),
+@register_pass("ckpt", aliases=("checkpoint",), sequential=True,
                inputs=("logic", "choice", "lut", "netlist"),
                args=(ArgSpec("name", "n", str, "", "checkpoint name"),),
                help="snapshot the current state into the context")
 def _checkpoint(state, ctx: FlowContext, name=""):
     ctx.checkpoint(name or f"ckpt{len(ctx.checkpoints)}", state)
     return state
+
+
+# ---------------------------------------------------------------------- #
+# sequential passes                                                       #
+# ---------------------------------------------------------------------- #
+
+@register_pass("seq-sweep", aliases=("scorr",), sequential=True, verifying=True,
+               args=(ArgSpec("n_frames", "f", int, 8,
+                             "simulation frames for candidate classes"),
+                     ArgSpec("conflict_limit", "c", int, 5000,
+                             "SAT conflicts per induction check")),
+               help="register sweep: merge induction-proven equivalent registers")
+def _seq_sweep(ntk, ctx: FlowContext, n_frames=8, conflict_limit=5000):
+    from ..seq import register_sweep
+
+    out, _merged = register_sweep(ntk, n_frames=n_frames,
+                                  conflict_limit=conflict_limit, seed=ctx.seed)
+    return out
+
+
+@register_pass("seq-retime", aliases=("retime",), sequential=True,
+               help="conservative forward retiming (registers move through "
+                    "register-fed gates)")
+def _seq_retime(ntk, ctx: FlowContext):
+    from ..seq import retime_forward
+
+    return retime_forward(ntk)[0]
+
+
+@register_pass("seq-bmc", aliases=("bmc",), sequential=True, verifying=True,
+               args=(ArgSpec("depth", "d", int, 8, "time frames to check"),),
+               help="bounded model check the state against the flow input")
+def _seq_bmc(ntk, ctx: FlowContext, depth=8):
+    from ..seq import bmc_cec
+
+    reference = ctx.original if ctx.original is not None else ntk
+    res = bmc_cec(ctx.as_logic(reference), ctx.as_logic(ntk), depth)
+    if res.equivalent is False:
+        raise VerificationError(
+            f"seq-bmc refuted equivalence at frame {res.depth}: "
+            f"{res.counterexample!r}")
+    return ntk
+
+
+@register_pass("seq-ind", aliases=("kind",), sequential=True, verifying=True,
+               args=(ArgSpec("max_k", "k", int, 8, "largest induction depth"),),
+               help="k-induction CEC against the flow input (cex fails the "
+                    "flow; inconclusive passes)")
+def _seq_ind(ntk, ctx: FlowContext, max_k=8):
+    from ..seq import k_induction_cec
+
+    reference = ctx.original if ctx.original is not None else ntk
+    res = k_induction_cec(ctx.as_logic(reference), ctx.as_logic(ntk),
+                          max_k=max_k)
+    if res.equivalent is False:
+        raise VerificationError(
+            f"seq-ind refuted equivalence at frame {res.depth}: "
+            f"{res.counterexample!r}")
+    return ntk

@@ -6,7 +6,9 @@ with a canonical short name (the ABC-style mnemonic used in flow scripts),
 aliases, a typed argument specification and declared *capabilities*: which
 pipeline-state kinds it accepts (``logic`` / ``choice`` / ``lut`` /
 ``netlist``), which network classes it is restricted to, whether it needs a
-cell library and whether it is a verifying pass.
+cell library, whether it is a verifying pass and whether it is
+*sequential-safe* (understands registers; comb-only passes are refused on
+registered networks by the runner instead of silently dropping latches).
 
 The registry is what makes scripts checkable before they run: the DSL
 parser resolves names and coerces arguments against it, and
@@ -103,6 +105,7 @@ class PassInfo:
     network_classes: Optional[Tuple[type, ...]] = None
     needs_library: bool = False
     verifying: bool = False
+    sequential: bool = False        # safe on networks with registers
     help: str = ""
 
     def arg(self, flag_or_name: str) -> Optional[ArgSpec]:
@@ -143,7 +146,7 @@ def register_pass(name: str, *, aliases: Tuple[str, ...] = (),
                   output: str = "same",
                   network_classes: Optional[Tuple[type, ...]] = None,
                   needs_library: bool = False, verifying: bool = False,
-                  help: str = "") -> Callable:
+                  sequential: bool = False, help: str = "") -> Callable:
     """Decorator registering ``fn(ntk, ctx, **kwargs) -> ntk`` as a pass."""
     for kind in inputs:
         if kind not in STATE_KINDS:
@@ -155,6 +158,7 @@ def register_pass(name: str, *, aliases: Tuple[str, ...] = (),
                         inputs=tuple(inputs), output=output,
                         network_classes=network_classes,
                         needs_library=needs_library, verifying=verifying,
+                        sequential=sequential,
                         help=help or (doc.splitlines()[0] if doc else ""))
         if info.name in _REGISTRY or info.name in _ALIASES:
             raise ValueError(f"duplicate pass name {info.name!r}")

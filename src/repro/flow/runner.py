@@ -52,6 +52,12 @@ class FlowResult:
         return f"<FlowResult {self.summary()} after {len(self.metrics)} passes>"
 
 
+def _state_registers(state, kind: str) -> int:
+    """Register count of a pipeline state (0 for LUT/netlist states)."""
+    ntk = state.ntk if kind == "choice" else state
+    return ntk.num_registers() if hasattr(ntk, "num_registers") else 0
+
+
 class FlowRunner:
     """Execute :class:`Flow` objects against a shared :class:`FlowContext`."""
 
@@ -148,6 +154,13 @@ class FlowRunner:
             raise FlowError(
                 f"pass {info.name!r} cannot run on a {kind} state "
                 f"(accepts: {', '.join(info.inputs)})")
+        if not info.sequential:
+            nregs = _state_registers(state, kind)
+            if nregs:
+                raise FlowError(
+                    f"pass {info.name!r} is combinational-only but the "
+                    f"network has {nregs} register{'s' if nregs != 1 else ''}; "
+                    f"use seq-* passes on sequential circuits")
         if info.network_classes is not None and not isinstance(
                 state.ntk if kind == "choice" else state, info.network_classes):
             names = ", ".join(c.__name__ for c in info.network_classes)

@@ -1,67 +1,151 @@
-"""AIGER format I/O (ASCII ``aag`` and binary ``aig``), combinational subset.
+"""AIGER format I/O (ASCII ``aag`` and binary ``aig``), sequential-capable.
 
 The AIGER literal convention matches ours (literal = 2*var + phase), so the
-translation is direct.  Latches are not supported — the paper's flow is
-purely combinational.
+translation is direct.  Latches map onto the network's registers: AIGER
+variable order is inputs, then latches, then ANDs, which the writer
+reproduces by relabeling real PIs first, register outputs second and gates
+last.  Latch lines carry the next-state literal plus an optional 0/1 reset
+value (omitted means 0, the AIGER default); uninitialized latches — a reset
+field equal to the latch literal itself — are rejected, as nothing in the
+repo models three-valued initial states.
+
+Writes are canonical: fanin pairs are emitted max-first after relabeling and
+init values only when 1, so ``write → read → write`` is bit-identical for
+both the ASCII and the binary format.
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Tuple, Union
 
 from ..networks.aig import Aig
 
 __all__ = ["write_aag", "read_aag", "write_aig_binary", "read_aig_binary"]
 
 
-def write_aag(ntk: Aig, include_symbols: bool = True) -> str:
-    """Serialize an AIG to ASCII AIGER."""
-    # compact relabeling: PIs first, then reachable gates in topo order
+def _relabel(ntk: Aig):
+    """AIGER-order relabeling: real PIs, then ROs, then gates in topo order.
+
+    Returns ``(index, inputs, latches, gates)`` where ``index`` maps node →
+    AIGER variable, ``inputs``/``latches`` are node lists in emission order.
+    """
+    regs = ntk.registers  # validates RO/RI pairing
+    ro_set = frozenset(n for n, _, _ in regs)
+    inputs = [n for n in ntk.pis if n not in ro_set]
     index = {0: 0}
-    for i, n in enumerate(ntk.pis):
+    for i, n in enumerate(inputs):
         index[n] = i + 1
-    gates = [n for n in ntk.gates()]
+    for j, (n, _, _) in enumerate(regs):
+        index[n] = len(inputs) + 1 + j
+    gates = list(ntk.gates())
     for j, n in enumerate(gates):
-        index[n] = ntk.num_pis() + 1 + j
+        index[n] = len(inputs) + len(regs) + 1 + j
+    return index, inputs, regs, gates
+
+
+def _parse_header(parts: List, magic) -> Tuple[int, int, int, int, int]:
+    """Validate an AIGER header line; errors carry the parsed counts."""
+    if not parts or parts[0] != magic:
+        kind = "an ASCII" if magic in ("aag", b"aag") else "a binary"
+        raise ValueError(f"not {kind} AIGER file")
+    if len(parts) < 6:
+        raise ValueError(
+            f"malformed AIGER header: expected 'aag/aig M I L O A', got "
+            f"{len(parts) - 1} of 5 counts")
+    try:
+        m, i, l, o, a = (int(x) for x in parts[1:6])
+    except ValueError:
+        raise ValueError(f"malformed AIGER header: non-integer counts in {parts[1:6]}")
+    if min(m, i, l, o, a) < 0:
+        raise ValueError(
+            f"malformed AIGER header: negative counts (M={m} I={i} L={l} O={o} A={a})")
+    if m < i + l + a:
+        raise ValueError(
+            f"malformed AIGER header: M={m} < I+L+A={i + l + a} "
+            f"(I={i} L={l} O={o} A={a})")
+    return m, i, l, o, a
+
+
+def write_aag(ntk: Aig, include_symbols: bool = True) -> str:
+    """Serialize an AIG (combinational or sequential) to ASCII AIGER."""
+    index, inputs, regs, gates = _relabel(ntk)
 
     def relit(l: int) -> int:
         return (index[l >> 1] << 1) | (l & 1)
 
-    m = ntk.num_pis() + len(gates)
-    lines = [f"aag {m} {ntk.num_pis()} 0 {ntk.num_pos()} {len(gates)}"]
-    for n in ntk.pis:
+    m = len(inputs) + len(regs) + len(gates)
+    lines = [f"aag {m} {len(inputs)} {len(regs)} {ntk.num_pos()} {len(gates)}"]
+    for n in inputs:
         lines.append(str(index[n] << 1))
+    for n, ri, init in regs:
+        line = f"{index[n] << 1} {relit(ri)}"
+        lines.append(f"{line} 1" if init else line)
     for p in ntk.pos:
         lines.append(str(relit(p)))
     for n in gates:
-        a, b = ntk.fanins(n)
-        lines.append(f"{index[n] << 1} {relit(a)} {relit(b)}")
+        a, b = sorted((relit(f) for f in ntk.fanins(n)), reverse=True)
+        lines.append(f"{index[n] << 1} {a} {b}")
     if include_symbols:
-        for i, name in enumerate(ntk.pi_names):
-            lines.append(f"i{i} {name}")
+        names = ntk.pi_names
+        ci_pos = {n: j for j, n in enumerate(ntk.pis)}
+        for i, n in enumerate(inputs):
+            lines.append(f"i{i} {names[ci_pos[n]]}")
+        for i, (n, _, _) in enumerate(regs):
+            lines.append(f"l{i} {names[ci_pos[n]]}")
         for i, name in enumerate(ntk.po_names):
             lines.append(f"o{i} {name}")
     return "\n".join(lines) + "\n"
 
 
 def read_aag(text: str) -> Aig:
-    """Parse ASCII AIGER into an :class:`Aig`."""
+    """Parse ASCII AIGER (with latches) into an :class:`Aig`."""
     lines = [l for l in text.splitlines() if l.strip()]
-    header = lines[0].split()
-    if header[0] != "aag":
-        raise ValueError("not an ASCII AIGER file")
-    m, i, l, o, a = (int(x) for x in header[1:6])
-    if l:
-        raise ValueError("latches are not supported")
+    if not lines:
+        raise ValueError("empty AIGER file")
+    m, i, l, o, a = _parse_header(lines[0].split(), "aag")
+    sym_start = 1 + i + l + o + a
+    if len(lines) < sym_start:
+        raise ValueError(
+            f"truncated AIGER file: header promises {i} inputs, {l} latches, "
+            f"{o} outputs and {a} ANDs ({sym_start - 1} definition lines) "
+            f"but only {len(lines) - 1} lines follow")
     ntk = Aig()
     lit_of = {0: 0}
-    pos_lits: List[int] = []
     idx = 1
-    pi_lits = []
-    for _ in range(i):
+
+    # symbol table first (it names CIs we are about to create)
+    pi_names, latch_names, po_names = {}, {}, {}
+    for line in lines[sym_start:]:
+        if line.startswith("c"):
+            break
+        if " " not in line:
+            continue
+        k, name = line.split(" ", 1)
+        if k[0] == "i" and k[1:].isdigit():
+            pi_names[int(k[1:])] = name
+        elif k[0] == "l" and k[1:].isdigit():
+            latch_names[int(k[1:])] = name
+        elif k[0] == "o" and k[1:].isdigit():
+            po_names[int(k[1:])] = name
+
+    for j in range(i):
         v = int(lines[idx]); idx += 1
-        pi_lits.append(v)
-        lit_of[v >> 1] = ntk.create_pi()
+        lit_of[v >> 1] = ntk.create_pi(pi_names.get(j, f"pi{j}"))
+    latch_defs = []
+    for j in range(l):
+        parts = lines[idx].split(); idx += 1
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"malformed latch line {j} of {l}: {lines[idx - 1]!r}")
+        lhs, nxt = int(parts[0]), int(parts[1])
+        init = int(parts[2]) if len(parts) == 3 else 0
+        if init not in (0, 1):
+            raise ValueError(
+                f"latch {j} of {l} has unsupported reset value {init} "
+                "(only 0/1 initial states are modeled)")
+        lit_of[lhs >> 1] = ntk.create_ro(latch_names.get(j, f"r{j}"), init)
+        latch_defs.append(nxt)
+    pos_lits: List[int] = []
     for _ in range(o):
         pos_lits.append(int(lines[idx])); idx += 1
     and_defs = []
@@ -74,22 +158,10 @@ def read_aag(text: str) -> Aig:
 
     for x, y, z in and_defs:
         lit_of[x >> 1] = ntk.create_and(get(y), get(z))
-    # symbol table
-    pi_names = {}
-    po_names = {}
-    for line in lines[idx:]:
-        if line.startswith("i") and " " in line:
-            k, name = line.split(" ", 1)
-            pi_names[int(k[1:])] = name
-        elif line.startswith("o") and " " in line:
-            k, name = line.split(" ", 1)
-            po_names[int(k[1:])] = name
-        elif line.startswith("c"):
-            break
-    if pi_names:
-        ntk._pi_names = [pi_names.get(j, f"pi{j}") for j in range(i)]
     for j, p in enumerate(pos_lits):
         ntk.create_po(get(p), po_names.get(j, f"po{j}"))
+    for nxt in latch_defs:
+        ntk.create_ri(get(nxt))
     return ntk
 
 
@@ -101,20 +173,19 @@ def _encode_delta(out: bytearray, delta: int) -> None:
 
 
 def write_aig_binary(ntk: Aig) -> bytes:
-    """Serialize to binary AIGER (``aig``)."""
-    index = {0: 0}
-    for i, n in enumerate(ntk.pis):
-        index[n] = i + 1
-    gates = list(ntk.gates())
-    for j, n in enumerate(gates):
-        index[n] = ntk.num_pis() + 1 + j
+    """Serialize to binary AIGER (``aig``), latches included."""
+    index, inputs, regs, gates = _relabel(ntk)
 
     def relit(l: int) -> int:
         return (index[l >> 1] << 1) | (l & 1)
 
-    m = ntk.num_pis() + len(gates)
+    m = len(inputs) + len(regs) + len(gates)
     out = bytearray()
-    out += f"aig {m} {ntk.num_pis()} 0 {ntk.num_pos()} {len(gates)}\n".encode()
+    out += (f"aig {m} {len(inputs)} {len(regs)} "
+            f"{ntk.num_pos()} {len(gates)}\n").encode()
+    for _, ri, init in regs:
+        line = f"{relit(ri)} 1" if init else f"{relit(ri)}"
+        out += (line + "\n").encode()
     for p in ntk.pos:
         out += f"{relit(p)}\n".encode()
     for n in gates:
@@ -128,16 +199,25 @@ def write_aig_binary(ntk: Aig) -> bytes:
 
 
 def read_aig_binary(data: bytes) -> Aig:
-    """Parse binary AIGER."""
+    """Parse binary AIGER, latches included."""
     nl = data.index(b"\n")
-    header = data[:nl].split()
-    if header[0] != b"aig":
-        raise ValueError("not a binary AIGER file")
-    m, i, l, o, a = (int(x) for x in header[1:6])
-    if l:
-        raise ValueError("latches are not supported")
-    pos_lits = []
+    m, i, l, o, a = _parse_header(data[:nl].split(), b"aig")
     idx = nl + 1
+    latch_defs = []
+    for j in range(l):
+        nl2 = data.index(b"\n", idx)
+        parts = data[idx:nl2].split()
+        idx = nl2 + 1
+        if len(parts) not in (1, 2):
+            raise ValueError(f"malformed latch line {j} of {l}: {parts!r}")
+        nxt = int(parts[0])
+        init = int(parts[1]) if len(parts) == 2 else 0
+        if init not in (0, 1):
+            raise ValueError(
+                f"latch {j} of {l} has unsupported reset value {init} "
+                "(only 0/1 initial states are modeled)")
+        latch_defs.append((nxt, init))
+    pos_lits = []
     for _ in range(o):
         nl2 = data.index(b"\n", idx)
         pos_lits.append(int(data[idx:nl2]))
@@ -147,6 +227,8 @@ def read_aig_binary(data: bytes) -> Aig:
     lit_of = {0: 0}
     for v in range(1, i + 1):
         lit_of[v] = ntk.create_pi()
+    for j, (_, init) in enumerate(latch_defs):
+        lit_of[i + 1 + j] = ntk.create_ro(f"r{j}", init)
 
     def decode() -> int:
         nonlocal idx
@@ -164,7 +246,7 @@ def read_aig_binary(data: bytes) -> Aig:
         return lit_of[lit >> 1] ^ (lit & 1)
 
     for j in range(a):
-        lhs = (i + 1 + j) << 1
+        lhs = (i + l + 1 + j) << 1
         d1 = decode()
         d2 = decode()
         rhs0 = lhs - d1
@@ -172,4 +254,6 @@ def read_aig_binary(data: bytes) -> Aig:
         lit_of[lhs >> 1] = ntk.create_and(get(rhs0), get(rhs1))
     for j, p in enumerate(pos_lits):
         ntk.create_po(get(p), f"po{j}")
+    for nxt, _ in latch_defs:
+        ntk.create_ri(get(nxt))
     return ntk

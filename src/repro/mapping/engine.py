@@ -28,7 +28,7 @@ from ..core.choice import ChoiceNetwork
 from ..cuts.cut import Cut
 from ..cuts.database import CutDatabase
 from ..cuts.enumeration import expand_cache_stats
-from ..networks.base import LogicNetwork
+from ..networks.base import LogicNetwork, require_combinational
 from ..synthesis.npn_db import NpnCostCache
 from ..truth.truth_table import TruthTable
 
@@ -66,8 +66,10 @@ class MappingSession:
         if isinstance(subject, ChoiceNetwork):
             self.subject = subject
             self.ntk: LogicNetwork = subject.ntk
+            require_combinational(self.ntk, "MappingSession")
             self.choices: Optional[Dict[int, List[Tuple[int, bool]]]] = subject.choices_of
         else:
+            require_combinational(subject, "MappingSession")
             self.subject = subject
             self.ntk = subject
             self.choices = None

@@ -26,7 +26,8 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..truth.truth_table import TruthTable, var_mask
 
-__all__ = ["GateType", "LogicNetwork", "lit", "lit_node", "lit_phase", "lit_not", "rep_view"]
+__all__ = ["GateType", "LogicNetwork", "lit", "lit_node", "lit_phase", "lit_not",
+           "rep_view", "require_combinational"]
 
 
 class GateType(IntEnum):
@@ -58,8 +59,34 @@ def lit_not(literal: int) -> int:
     return literal ^ 1
 
 
+def require_combinational(ntk: "LogicNetwork", where: str) -> None:
+    """Raise if ``ntk`` carries registers and ``where`` is comb-only.
+
+    One shared guard for every engine that only understands the
+    combinational skeleton (cut enumeration, LUT/ASIC mapping, plain CEC,
+    choice-network construction, ...).  The error names the offending
+    network and its register count so a failing flow points straight at
+    the circuit instead of dying deep inside an engine — and so latches
+    are never silently dropped.
+    """
+    n = ntk.num_registers()
+    if n:
+        raise ValueError(
+            f"{where} is combinational-only but {ntk!r} has {n} register"
+            f"{'s' if n != 1 else ''}; unroll the network or use a seq-* pass")
+
+
 class LogicNetwork:
-    """A combinational Boolean network as a literal-encoded DAG."""
+    """A Boolean network as a literal-encoded DAG, optionally sequential.
+
+    Sequential networks model registers (latches in AIGER terms) as
+    *register outputs* — ordinary PI nodes flagged in ``_ro_nodes`` — paired
+    in creation order with *register inputs* (next-state literals in
+    ``_ri_lits``) and initial values (``_ro_init``).  Every combinational
+    engine therefore sees the comb skeleton unchanged: CIs = real PIs + ROs,
+    COs = POs + RIs.  Comb-only engines must call
+    :func:`require_combinational` instead of ignoring the pairing.
+    """
 
     #: Native gate types this representation may contain.
     ALLOWED: frozenset = _GATE_KINDS
@@ -74,6 +101,11 @@ class LogicNetwork:
         self._pi_names: List[str] = []
         self._pos: List[int] = []
         self._po_names: List[str] = []
+        #: register bookkeeping: RO node indices (subset of ``_pis``), the
+        #: paired next-state literals (same order), and 0/1 initial values
+        self._ro_nodes: List[int] = []
+        self._ri_lits: List[int] = []
+        self._ro_init: List[int] = []
         self._strash: Dict[Tuple[GateType, Tuple[int, ...]], int] = {}
         #: bumped on every structural mutation; analysis caches key off it
         self._version: int = 0
@@ -220,6 +252,76 @@ class LogicNetwork:
         self._po_names.append(name if name is not None else f"po{len(self._pos) - 1}")
         self._touch()
         return len(self._pos) - 1
+
+    # -- registers (sequential networks) ----------------------------------
+
+    def create_ro(self, name: Optional[str] = None, init: int = 0) -> int:
+        """Create a register output (the current-state side of a latch).
+
+        The RO is an ordinary PI node as far as the combinational skeleton
+        is concerned; it is additionally recorded as a register with the
+        given initial value (0 or 1).  Pair it with a next-state function
+        later via :meth:`create_ri` — registers are matched in creation
+        order, exactly like AIGER latch lines.
+        """
+        if init not in (0, 1):
+            raise ValueError(f"register init value must be 0 or 1, got {init!r}")
+        if name is None:
+            name = f"r{len(self._ro_nodes)}"
+        literal = self.create_pi(name)
+        self._ro_nodes.append(lit_node(literal))
+        self._ro_init.append(int(init))
+        return literal
+
+    def create_ri(self, literal: int) -> int:
+        """Attach the next-state literal of the next unconnected register.
+
+        Returns the register index.  ROs and RIs pair up in creation order;
+        engines refuse networks with unconnected registers.
+        """
+        if lit_node(literal) >= len(self._types):
+            raise ValueError("RI literal refers to unknown node")
+        if len(self._ri_lits) >= len(self._ro_nodes):
+            raise ValueError("more register inputs than register outputs")
+        self._ri_lits.append(literal)
+        self._touch()
+        return len(self._ri_lits) - 1
+
+    def num_registers(self) -> int:
+        """Number of registers (AIGER latches)."""
+        return len(self._ro_nodes)
+
+    def has_registers(self) -> bool:
+        return bool(self._ro_nodes)
+
+    @property
+    def registers(self) -> List[Tuple[int, int, int]]:
+        """``(ro_node, ri_literal, init)`` per register, in creation order.
+
+        Raises if any register is missing its next-state function, so
+        engines never silently treat a half-built latch as a free input.
+        """
+        if len(self._ri_lits) != len(self._ro_nodes):
+            raise ValueError(
+                f"{len(self._ro_nodes) - len(self._ri_lits)} register(s) have no "
+                "next-state literal; call create_ri for every create_ro")
+        return list(zip(self._ro_nodes, self._ri_lits, self._ro_init))
+
+    def is_ro(self, node: int) -> bool:
+        """True if ``node`` is a register output (still ``is_pi``-true)."""
+        return node in self._ro_set()
+
+    def _ro_set(self) -> frozenset:
+        return frozenset(self._ro_nodes)
+
+    @property
+    def real_pis(self) -> List[int]:
+        """Non-register PI node indices (the free inputs), creation order."""
+        ros = self._ro_set()
+        return [n for n in self._pis if n not in ros]
+
+    def num_real_pis(self) -> int:
+        return len(self._pis) - len(self._ro_nodes)
 
     def _new_node(self, gate: GateType, fanins: Tuple[int, ...]) -> int:
         key = (gate, fanins)
@@ -589,7 +691,12 @@ class LogicNetwork:
     # ------------------------------------------------------------------ #
 
     def cleanup(self) -> "LogicNetwork":
-        """Structurally-hashed copy containing only PO-reachable logic."""
+        """Structurally-hashed copy containing only CO-reachable logic.
+
+        Registers unreachable from any PO (through register feedback) are
+        dropped together with their next-state cones; real PIs are always
+        preserved so the input interface is stable.
+        """
         dst = type(self)()
         return self.copy_into(dst)
 
@@ -605,16 +712,18 @@ class LogicNetwork:
         ``include_pos=False`` copies the logic without registering POs (used
         when superimposing several snapshots into one choice network).
         ``pi_map`` reuses existing PI literals of ``dst`` (old PI node ->
-        dst literal) instead of creating fresh PIs.
+        dst literal) instead of creating fresh PIs.  Both modes are
+        combinational-only; the plain copy carries registers across (live
+        ones keep their init values and next-state cones).
         """
         mapping: Dict[int, int] = {0: 0}
-        if pi_map is not None:
-            if set(pi_map) != set(self._pis):
-                raise ValueError("pi_map must cover exactly the source PIs")
-            mapping.update(pi_map)
-        else:
-            for name, n in zip(self._pi_names, self._pis):
-                mapping[n] = dst.create_pi(name)
+        if pi_map is not None or not include_pos:
+            require_combinational(self, "copy_into_with_map(pi_map/include_pos)")
+        # reachability fixpoint: reaching a register output pulls in its
+        # next-state cone (registers feed themselves through time)
+        ro_index = {ro: i for i, ro in enumerate(self._ro_nodes)}
+        if ro_index:
+            regs = self.registers  # validates RO/RI pairing up front
         reach = set()
         stack = [p >> 1 for p in self._pos]
         while stack:
@@ -623,6 +732,22 @@ class LogicNetwork:
                 continue
             reach.add(n)
             stack.extend(f >> 1 for f in self._fanins[n])
+            i = ro_index.get(n)
+            if i is not None:
+                stack.append(self._ri_lits[i] >> 1)
+        kept_regs: List[int] = []
+        if pi_map is not None:
+            if set(pi_map) != set(self._pis):
+                raise ValueError("pi_map must cover exactly the source PIs")
+            mapping.update(pi_map)
+        else:
+            for name, n in zip(self._pi_names, self._pis):
+                i = ro_index.get(n)
+                if i is None:
+                    mapping[n] = dst.create_pi(name)
+                elif n in reach:
+                    mapping[n] = dst.create_ro(name, self._ro_init[i])
+                    kept_regs.append(i)
         for n in range(len(self._types)):
             if n not in reach or not self.is_gate(n):
                 continue
@@ -631,12 +756,16 @@ class LogicNetwork:
         if include_pos:
             for p, name in zip(self._pos, self._po_names):
                 dst.create_po(mapping[p >> 1] ^ (p & 1), name)
+        for i in kept_regs:
+            ri = self._ri_lits[i]
+            dst.create_ri(mapping[ri >> 1] ^ (ri & 1))
         return mapping
 
     def __repr__(self) -> str:
+        regs = f" regs={self.num_registers()}" if self._ro_nodes else ""
         return (
-            f"<{type(self).__name__} pis={self.num_pis()} pos={self.num_pos()} "
-            f"gates={self.num_gates()} depth={self.depth()}>"
+            f"<{type(self).__name__} pis={self.num_real_pis()} pos={self.num_pos()}"
+            f"{regs} gates={self.num_gates()} depth={self.depth()}>"
         )
 
 

@@ -9,7 +9,10 @@ numpy views come for free where numpy is available):
 * ``fanin`` — three literals per node, zero-padded (arity is implied by the
   gate kind), so consumers iterate fanin slots without touching node objects;
 * ``level`` — the memoized logic level of every node;
-* ``pis`` / ``pos`` — PI node indices and PO literals.
+* ``pis`` / ``pos`` — CI node indices and PO literals;
+* ``ros`` / ``ris`` / ``rinit`` — register outputs (node indices, a subset of
+  ``pis``), the paired next-state literals and the 0/1 initial values, so
+  sequential networks survive pack/shm transport and hashing unchanged.
 
 The flat core is what the hot consumers iterate: cut enumeration reads the
 kind/fanin arrays directly, Tseitin encoding emits clauses straight from
@@ -74,17 +77,21 @@ class FlatNetwork:
     """One logic network as flat parallel buffers (see module docstring)."""
 
     __slots__ = ("rep", "kind", "level", "fanin", "pis", "pos",
-                 "pi_names", "po_names", "_hash")
+                 "ros", "ris", "rinit", "pi_names", "po_names", "_hash")
 
     def __init__(self, rep: str, kind: array, level: array, fanin: array,
                  pis: array, pos: array, pi_names: Tuple[str, ...],
-                 po_names: Tuple[str, ...]):
+                 po_names: Tuple[str, ...], ros: Optional[array] = None,
+                 ris: Optional[array] = None, rinit: Optional[array] = None):
         self.rep = rep
         self.kind = kind            # array('B'), one GateType byte per node
         self.level = level          # array('q'), per-node logic level
         self.fanin = fanin          # array('q'), 3 literals per node, 0-padded
-        self.pis = pis              # array('q'), PI node indices
+        self.pis = pis              # array('q'), CI node indices
         self.pos = pos              # array('q'), PO literals
+        self.ros = ros if ros is not None else array("q")   # RO node indices
+        self.ris = ris if ris is not None else array("q")   # RI literals
+        self.rinit = rinit if rinit is not None else array("B")  # init values
         self.pi_names = pi_names
         self.po_names = po_names
         self._hash: Optional[str] = None
@@ -114,6 +121,9 @@ class FlatNetwork:
             pos=array("q", ntk._pos),
             pi_names=tuple(ntk._pi_names),
             po_names=tuple(ntk._po_names),
+            ros=array("q", ntk._ro_nodes),
+            ris=array("q", ntk._ri_lits),
+            rinit=array("B", ntk._ro_init),
         )
 
     def to_network(self, cls: Optional[type] = None) -> LogicNetwork:
@@ -151,6 +161,9 @@ class FlatNetwork:
         ntk._pi_names = list(self.pi_names)
         ntk._pos = list(self.pos)
         ntk._po_names = list(self.po_names)
+        ntk._ro_nodes = list(self.ros)
+        ntk._ri_lits = list(self.ris)
+        ntk._ro_init = list(self.rinit)
         ntk._strash = strash
         ntk._touch()
         return ntk
@@ -168,6 +181,9 @@ class FlatNetwork:
     def num_pos(self) -> int:
         return len(self.pos)
 
+    def num_registers(self) -> int:
+        return len(self.ros)
+
     def num_gates(self) -> int:
         gate_min = _GATE_MIN
         return sum(1 for k in self.kind if k >= gate_min)
@@ -176,7 +192,9 @@ class FlatNetwork:
     def nbytes(self) -> int:
         """Total payload size of :meth:`pack` in bytes."""
         n = len(self.kind)
-        return n + 8 * n + 24 * n + 8 * len(self.pis) + 8 * len(self.pos)
+        r = len(self.ros)
+        return (n + 8 * n + 24 * n + 8 * len(self.pis) + 8 * len(self.pos)
+                + 16 * r + r)
 
     def fanin_slots(self, node: int) -> Tuple[int, ...]:
         """The node's fanin literals (arity implied by its kind)."""
@@ -190,8 +208,8 @@ class FlatNetwork:
     def structural_hash(self) -> str:
         """Content hash of the structure (16 hex chars), cached.
 
-        Covers representation, gate kinds, fanin literals, PI order and PO
-        literals — everything that determines the DAG — but not names or
+        Covers representation, gate kinds, fanin literals, CI order, PO
+        literals and the register arrays (RO/RI pairing and init values) — everything that determines the DAG — but not names or
         the derived levels.  Two networks with equal hashes have identical
         node numbering, so solver/simulation state computed against one is
         valid for the other.  (Byte order is the platform's: hashes are
@@ -202,12 +220,15 @@ class FlatNetwork:
         if h is None:
             m = hashlib.sha256()
             m.update(self.rep.encode())
-            m.update(b"|%d|%d|%d|" % (len(self.kind), len(self.pis),
-                                      len(self.pos)))
+            m.update(b"|%d|%d|%d|%d|" % (len(self.kind), len(self.pis),
+                                          len(self.pos), len(self.ros)))
             m.update(self.kind.tobytes())
             m.update(self.fanin.tobytes())
             m.update(self.pis.tobytes())
             m.update(self.pos.tobytes())
+            m.update(self.ros.tobytes())
+            m.update(self.ris.tobytes())
+            m.update(self.rinit.tobytes())
             h = self._hash = m.hexdigest()[:16]
         return h
 
@@ -219,7 +240,8 @@ class FlatNetwork:
         """The buffers as one contiguous payload (decode with :meth:`unpack`)."""
         return b"".join((self.kind.tobytes(), self.level.tobytes(),
                          self.fanin.tobytes(), self.pis.tobytes(),
-                         self.pos.tobytes()))
+                         self.pos.tobytes(), self.ros.tobytes(),
+                         self.ris.tobytes(), self.rinit.tobytes()))
 
     def header(self) -> dict:
         """The tiny picklable header describing a :meth:`pack` payload."""
@@ -228,6 +250,7 @@ class FlatNetwork:
             "n": len(self.kind),
             "n_pis": len(self.pis),
             "n_pos": len(self.pos),
+            "n_regs": len(self.ros),
             "nbytes": self.nbytes,
             "pi_names": self.pi_names,
             "po_names": self.po_names,
@@ -241,6 +264,7 @@ class FlatNetwork:
         the arrays copy out of it, so the buffer can be released afterwards.
         """
         n, p, q = header["n"], header["n_pis"], header["n_pos"]
+        r = header.get("n_regs", 0)
         mv = memoryview(payload)
         if len(mv) < header["nbytes"]:
             raise ValueError("flat-network payload shorter than its header claims")
@@ -258,8 +282,12 @@ class FlatNetwork:
         fanin = take("q", 3 * n, 8)
         pis = take("q", p, 8)
         pos = take("q", q, 8)
+        ros = take("q", r, 8)
+        ris = take("q", r, 8)
+        rinit = take("B", r, 1)
         return cls(header["rep"], kind, level, fanin, pis, pos,
-                   tuple(header["pi_names"]), tuple(header["po_names"]))
+                   tuple(header["pi_names"]), tuple(header["po_names"]),
+                   ros, ris, rinit)
 
     # ------------------------------------------------------------------ #
     # shared-memory transfer                                              #
@@ -319,10 +347,13 @@ class FlatNetwork:
         return (self.rep == other.rep and self.kind == other.kind
                 and self.fanin == other.fanin and self.pis == other.pis
                 and self.pos == other.pos and self.level == other.level
+                and self.ros == other.ros and self.ris == other.ris
+                and self.rinit == other.rinit
                 and self.pi_names == other.pi_names
                 and self.po_names == other.po_names)
 
     def __repr__(self) -> str:
+        regs = f" regs={len(self.ros)}" if len(self.ros) else ""
         return (f"<FlatNetwork {self.rep} nodes={len(self.kind)} "
-                f"pis={len(self.pis)} pos={len(self.pos)} "
+                f"pis={len(self.pis)} pos={len(self.pos)}{regs} "
                 f"hash={self.structural_hash()}>")

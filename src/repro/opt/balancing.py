@@ -12,13 +12,14 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List
 
-from ..networks.base import GateType, LogicNetwork
+from ..networks.base import GateType, LogicNetwork, require_combinational
 
 __all__ = ["balance"]
 
 
 def balance(ntk: LogicNetwork) -> LogicNetwork:
     """Return a depth-balanced copy of ``ntk`` (same class, same function)."""
+    require_combinational(ntk, "balance")
     dst = type(ntk)()
     mapping: Dict[int, int] = {0: 0}
     for name, n in zip(ntk.pi_names, ntk.pis):

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..networks.base import GateType, LogicNetwork
+from ..networks.base import GateType, LogicNetwork, require_combinational
 from ..truth.truth_table import TruthTable
 
 __all__ = ["mig_depth_rewrite"]
@@ -57,6 +57,7 @@ def _check_swap(x: int, u: int, y: int, z: int) -> bool:
 
 def mig_depth_rewrite(ntk: LogicNetwork, rounds: int = 2) -> LogicNetwork:
     """Iterated associativity depth rewriting; returns the improved network."""
+    require_combinational(ntk, "mig_depth_rewrite")
     current = ntk
     for _ in range(rounds):
         nxt = _one_round(current)

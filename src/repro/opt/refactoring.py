@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ..networks.base import LogicNetwork
+from ..networks.base import LogicNetwork, require_combinational
 from ..synthesis.factoring import synthesize_tt
 
 __all__ = ["refactor"]
@@ -29,6 +29,7 @@ def refactor(ntk: LogicNetwork, max_leaves: int = 10, min_cone: int = 3,
     accepts size-neutral replacements (useful for diversification before
     another pass).
     """
+    require_combinational(ntk, "refactor")
     fanout = ntk.fanout_counts()
     cls = type(ntk)
 

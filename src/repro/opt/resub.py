@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
-from ..networks.base import GateType, LogicNetwork
+from ..networks.base import GateType, LogicNetwork, require_combinational
 from ..sat.session import EquivalenceSession
 from ..sim.engine import PatternPool
 
@@ -39,6 +39,7 @@ def resub(ntk: LogicNetwork, width: int = 256, seed: int = 17,
     encode ``ntk``; its pattern pool — including counterexamples recycled by
     earlier passes — then drives the signature filtering here.
     """
+    require_combinational(ntk, "resub")
     if session is None:
         pool = PatternPool(ntk.num_pis(), n_patterns=width, seed=seed)
         session = EquivalenceSession(ntk, pool=pool)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..networks.base import LogicNetwork
+from ..networks.base import LogicNetwork, require_combinational
 from .equivalence import functional_classes
 
 __all__ = ["sweep"]
@@ -23,6 +23,7 @@ def sweep(ntk: LogicNetwork, sat_verify: bool = True, **kwargs) -> LogicNetwork:
     members are replaced by the representative (with phase), and the network
     is rebuilt so dangling logic disappears.
     """
+    require_combinational(ntk, "sweep")
     classes = functional_classes(ntk, sat_verify=sat_verify, **kwargs)
     replace: Dict[int, int] = {}  # node -> representative literal (old ids)
     for members in classes:

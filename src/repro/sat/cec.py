@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..networks.base import LogicNetwork
+from ..networks.base import LogicNetwork, require_combinational
 from ..sim.engine import PatternPool, SimEngine
 from .session import EquivalenceSession
 
@@ -100,6 +100,8 @@ def cec(a: LogicNetwork, b: LogicNetwork, sim_limit: int = 12,
     encoded, over the shared PI variables, and clauses learned by earlier
     checks against the same reference carry over.
     """
+    require_combinational(a, "cec")
+    require_combinational(b, "cec")
     _interface_check(a, b)
 
     if a.num_pis() <= sim_limit:

@@ -37,25 +37,35 @@ class EquivalenceSession:
     built.
     """
 
-    def __init__(self, ntk, pool: Optional[PatternPool] = None, *,
-                 n_patterns: int = 256, seed: int = 1):
+    def __init__(self, ntk=None, pool: Optional[PatternPool] = None, *,
+                 n_patterns: int = 256, seed: int = 1, n_pis: Optional[int] = None):
+        """``ntk=None`` opens a *bare* session (``n_pis`` wide, default 0).
+
+        Bare sessions skip the up-front network encoding; the sequential
+        engines use them as an incremental solver onto which time frames are
+        Tseitin-encoded one at a time via :meth:`encode_frame`.
+        """
+        if n_pis is None:
+            n_pis = ntk.num_pis() if ntk is not None else 0
         self.pool = pool if pool is not None else PatternPool(
-            ntk.num_pis(), n_patterns, seed)
+            n_pis, n_patterns, seed)
         self._solver = Solver()
         self._builder = CnfBuilder()
         self.pi_vars: Dict[int, int] = {
-            i: self._builder.new_var() for i in range(ntk.num_pis())
+            i: self._builder.new_var() for i in range(n_pis)
         }
         self.networks: List = []
         self.engines: List[SimEngine] = []
         self._var_of: List[Dict[int, int]] = []
         self._po_lits: List[List[int]] = []
         self._cex: Optional[List[bool]] = None
+        self._const_var: Optional[int] = None
         self.queries = 0
         self.proved = 0
         self.refuted = 0
         self.timeouts = 0
-        self.add_network(ntk)
+        if ntk is not None:
+            self.add_network(ntk)
 
     # -- encoding ------------------------------------------------------------
 
@@ -76,6 +86,51 @@ class EquivalenceSession:
         self._var_of.append(var_of)
         self._po_lits.append(po_lits)
         return len(self.networks) - 1
+
+    def encode_frame(self, ntk, ci_lits: List[int]):
+        """Tseitin-encode one copy of ``ntk``'s combinational skeleton.
+
+        Unlike :meth:`add_network`, the combinational inputs are bound to
+        the given *signed solver literals* (one per CI, in ``ntk.pis``
+        order) instead of the session's shared PI variables.  This is the
+        primitive behind time-frame unrolling: frame ``t+1`` passes the
+        frame-``t`` next-state literals as the CI literals of the register
+        outputs.  Returns ``(var_of, po_lits)`` — the node→literal map (use
+        it to look up register-input literals) and the signed PO literals.
+        """
+        if len(ci_lits) != ntk.num_pis():
+            raise ValueError(
+                f"expected {ntk.num_pis()} CI literals, got {len(ci_lits)}")
+        builder = self._builder
+        mark = len(builder.clauses)
+        var_of, po_lits = builder.encode(ntk, dict(enumerate(ci_lits)))
+        solver = self._solver
+        for _ in range(builder.num_vars - solver.num_vars):
+            solver.new_var()
+        for cl in builder.clauses[mark:]:
+            solver.add_clause(cl)
+        return var_of, po_lits
+
+    def new_input_vars(self, n: int) -> List[int]:
+        """``n`` fresh unconstrained variables (e.g. one frame's PIs)."""
+        return [self._new_var() for _ in range(n)]
+
+    def const_literal(self, value: int) -> int:
+        """A solver literal fixed to the given truth value (0/1).
+
+        The underlying unit-clause variable is created lazily once per
+        session and shared by every call (frame-0 register init values).
+        """
+        v = self._const_var
+        if v is None:
+            v = self._const_var = self._new_var()
+            self._solver.add_clause([-v])   # the shared variable is false
+        return -v if value else v
+
+    def literal_value(self, sl: int) -> bool:
+        """Value of a signed solver literal in the last SAT model."""
+        v = self._solver.model_value(abs(sl))
+        return (not v) if sl < 0 else v
 
     def _new_var(self) -> int:
         """Fresh variable, kept in lockstep between builder and solver so a
@@ -118,9 +173,23 @@ class EquivalenceSession:
 
     # -- queries -------------------------------------------------------------
 
+    def assume_equal(self, sl_a: int, sl_b: int) -> int:
+        """A selector literal that, while assumed, forces ``sl_a == sl_b``.
+
+        The constraint is inert until the selector is passed in the
+        ``assumptions`` of a query; k-induction uses this to hypothesize
+        output equality on frames ``0..k-1`` while testing frame ``k``.
+        """
+        solver = self._solver
+        s = self._new_var()
+        solver.add_clause([-s, -sl_a, sl_b])
+        solver.add_clause([-s, sl_a, -sl_b])
+        return s
+
     def prove_equal(self, sl_a: int, sl_b: int,
-                    conflict_limit: Optional[int] = None) -> Optional[bool]:
-        """Prove two solver literals equal everywhere.
+                    conflict_limit: Optional[int] = None,
+                    assumptions: List[int] = ()) -> Optional[bool]:
+        """Prove two solver literals equal under the given assumptions.
 
         Returns True if proven, False with a recycled counterexample if they
         differ, None if the conflict budget ran out.  Each query burns one
@@ -134,7 +203,8 @@ class EquivalenceSession:
         # under s: sl_a != sl_b
         solver.add_clause([-s, sl_a, sl_b])
         solver.add_clause([-s, -sl_a, -sl_b])
-        res = solver.solve(assumptions=[s], conflict_limit=conflict_limit)
+        res = solver.solve(assumptions=[s, *assumptions],
+                           conflict_limit=conflict_limit)
         solver.add_clause([-s])  # retire the selector
         if res is None:
             self.timeouts += 1
@@ -143,9 +213,11 @@ class EquivalenceSession:
             self.proved += 1
             return True
         self.refuted += 1
-        cex = [solver.model_value(self.pi_vars[i]) for i in range(len(self.pi_vars))]
-        self._cex = cex
-        self.pool.add_counterexample(cex)
+        if self.pi_vars:
+            cex = [solver.model_value(self.pi_vars[i])
+                   for i in range(len(self.pi_vars))]
+            self._cex = cex
+            self.pool.add_counterexample(cex)
         return False
 
     def prove_node_equal(self, node_a: int, node_b: int, compl: bool = False,

@@ -1,0 +1,37 @@
+"""Sequential-circuit engines built on the combinational stack.
+
+Registers are part of the network model itself
+(:meth:`~repro.networks.base.LogicNetwork.create_ro` /
+:meth:`~repro.networks.base.LogicNetwork.create_ri`); this package adds the
+classic sequential algorithms on top of the existing engines:
+
+* :func:`unroll` — time-frame expansion into a plain combinational network,
+  the brute-force reference every other engine is checked against;
+* :func:`simulate_sequential` — multi-frame bit-parallel simulation with
+  state feedback through the compiled :mod:`repro.sim.engine`;
+* :func:`bmc_cec` / :func:`k_induction_cec` / :func:`seq_cec` — bounded
+  model checking and k-induction equivalence checking as incremental
+  time-frame Tseitin encodings on one
+  :class:`~repro.sat.session.EquivalenceSession`;
+* :func:`register_sweep` — simulation-guided, induction-proved merging of
+  equivalent registers;
+* :func:`retime_forward` — conservative forward retiming.
+"""
+
+from .bmc import SeqCecResult, TimeFrames, bmc_cec, k_induction_cec, seq_cec
+from .sim import simulate_sequential
+from .sweep import register_sweep
+from .retime import retime_forward
+from .unroll import unroll
+
+__all__ = [
+    "SeqCecResult",
+    "TimeFrames",
+    "bmc_cec",
+    "k_induction_cec",
+    "seq_cec",
+    "register_sweep",
+    "retime_forward",
+    "simulate_sequential",
+    "unroll",
+]

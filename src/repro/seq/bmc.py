@@ -1,0 +1,230 @@
+"""BMC and k-induction CEC as incremental time-frame Tseitin encodings.
+
+One :class:`~repro.sat.session.EquivalenceSession` holds every frame of
+every network: :class:`TimeFrames` binds frame ``t+1`` register outputs to
+the frame-``t`` next-state solver literals via
+:meth:`~repro.sat.session.EquivalenceSession.encode_frame`, so unrolling is
+exactly "repeated Tseitin under assumptions" — queries are selector-guarded
+miters on one persistent solver, learned clauses accumulate across frames
+and across depths, and SAT models are decoded back into per-frame input
+traces.
+
+``bmc_cec`` is refutation-complete up to its depth; ``k_induction_cec``
+adds the standard inductive step (assume PO equality on ``k`` consecutive
+frames from an arbitrary state, prove it on frame ``k``), which is sound
+but incomplete — *proved* means sequentially equivalent, *inconclusive*
+means raise ``k``.  ``seq_cec`` composes simulation, induction and a BMC
+fallback into the verification entry point used by flows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..networks.base import LogicNetwork
+from ..sat.session import EquivalenceSession
+from .sim import simulate_sequential
+
+__all__ = ["SeqCecResult", "TimeFrames", "bmc_cec", "k_induction_cec", "seq_cec"]
+
+
+@dataclass
+class SeqCecResult:
+    """Outcome of a sequential equivalence check.
+
+    ``equivalent`` is ``True`` (proven, or — when ``bounded`` — clean up to
+    ``depth`` frames), ``False`` (refuted) or ``None`` (inconclusive).
+    ``counterexample`` is a per-frame list of real-PI assignments driving
+    the two networks apart from the initial state.
+    """
+
+    equivalent: Optional[bool]
+    method: str
+    depth: int
+    bounded: bool = False
+    counterexample: Optional[List[List[bool]]] = field(default=None)
+
+    def __bool__(self) -> bool:
+        return bool(self.equivalent)
+
+
+def _check_interface(networks: Sequence[LogicNetwork]) -> None:
+    a = networks[0]
+    for b in networks[1:]:
+        if b.num_real_pis() != a.num_real_pis() or b.num_pos() != a.num_pos():
+            raise ValueError(
+                f"sequential interface mismatch: {a.num_real_pis()} PIs / "
+                f"{a.num_pos()} POs vs {b.num_real_pis()} PIs / {b.num_pos()} POs")
+
+
+class TimeFrames:
+    """Incremental time-frame expansion of networks on one session.
+
+    All networks share the per-frame real-PI variables (a sequential miter);
+    each network keeps its own register state chain.  ``initialized=True``
+    starts from the init values, ``False`` from fresh unconstrained state
+    variables (the arbitrary state k-induction needs).
+    """
+
+    def __init__(self, session: EquivalenceSession,
+                 networks: Sequence[LogicNetwork], *, initialized: bool = True):
+        _check_interface(networks)
+        self.session = session
+        self.nets = list(networks)
+        self.n_real_pis = self.nets[0].num_real_pis()
+        self._regs = [ntk.registers for ntk in self.nets]
+        self._ro_of = [{n: i for i, (n, _, _) in enumerate(regs)}
+                       for regs in self._regs]
+        if initialized:
+            self._state = [[session.const_literal(init) for _, _, init in regs]
+                           for regs in self._regs]
+        else:
+            self._state = [session.new_input_vars(len(regs))
+                           for regs in self._regs]
+        #: frame-0 register literals per network (arbitrary-state variables
+        #: when ``initialized=False`` — what register sweep assumes over)
+        self.initial_state = [list(s) for s in self._state]
+        #: per frame: the shared real-PI solver variables
+        self.pi_vars: List[List[int]] = []
+        #: per frame, per network: signed PO solver literals
+        self.po_lits: List[List[List[int]]] = []
+        #: per frame, per network: signed next-state solver literals
+        self.ri_lits: List[List[List[int]]] = []
+
+    @property
+    def depth(self) -> int:
+        """Number of frames encoded so far."""
+        return len(self.pi_vars)
+
+    def extend(self) -> int:
+        """Encode one more frame for every network; returns its index."""
+        session = self.session
+        pvars = session.new_input_vars(self.n_real_pis)
+        self.pi_vars.append(pvars)
+        frame_pos: List[List[int]] = []
+        frame_ris: List[List[int]] = []
+        for k, ntk in enumerate(self.nets):
+            ro_of = self._ro_of[k]
+            state = self._state[k]
+            it = iter(pvars)
+            ci = [state[ro_of[n]] if n in ro_of else next(it) for n in ntk.pis]
+            var_of, po_lits = session.encode_frame(ntk, ci)
+            ris = []
+            for _, ri, _ in self._regs[k]:
+                v = var_of[ri >> 1]
+                ris.append(-v if ri & 1 else v)
+            frame_pos.append(po_lits)
+            frame_ris.append(ris)
+            self._state[k] = ris
+        self.po_lits.append(frame_pos)
+        self.ri_lits.append(frame_ris)
+        return self.depth - 1
+
+    def extract_trace(self, last_frame: int) -> List[List[bool]]:
+        """Per-frame real-PI assignments from the last SAT model."""
+        session = self.session
+        return [[session.literal_value(v) for v in self.pi_vars[t]]
+                for t in range(last_frame + 1)]
+
+
+def bmc_cec(a: LogicNetwork, b: LogicNetwork, depth: int, *,
+            session: Optional[EquivalenceSession] = None,
+            conflict_limit: Optional[int] = None) -> SeqCecResult:
+    """Bounded model checking: compare all POs over ``depth`` frames.
+
+    Complete for refutation up to the bound — any returned counterexample
+    trace is a real divergence from the initial state.  A ``True`` verdict
+    is *bounded* equivalence only (``bounded=True`` on the result).
+    """
+    if session is None:
+        session = EquivalenceSession(n_pis=0)
+    frames = TimeFrames(session, [a, b], initialized=True)
+    for t in range(depth):
+        frames.extend()
+        for la, lb in zip(frames.po_lits[t][0], frames.po_lits[t][1]):
+            res = session.prove_equal(la, lb, conflict_limit)
+            if res is False:
+                return SeqCecResult(False, "bmc", t + 1,
+                                    counterexample=frames.extract_trace(t))
+            if res is None:
+                return SeqCecResult(None, "bmc (conflict budget exhausted)", t)
+    return SeqCecResult(True, "bmc", depth, bounded=True)
+
+
+def k_induction_cec(a: LogicNetwork, b: LogicNetwork, *, max_k: int = 8,
+                    conflict_limit: Optional[int] = None) -> SeqCecResult:
+    """k-induction CEC: base case by incremental BMC, inductive step by
+    PO-equality assumptions over a window of arbitrary-state frames.
+
+    ``True`` is a full (unbounded) sequential equivalence proof; ``False``
+    carries a concrete trace from the base case; ``None`` means no ``k`` up
+    to ``max_k`` was inductive — the networks may still be equivalent.
+    """
+    base_sess = EquivalenceSession(n_pis=0)
+    base = TimeFrames(base_sess, [a, b], initialized=True)
+    step_sess = EquivalenceSession(n_pis=0)
+    step = TimeFrames(step_sess, [a, b], initialized=False)
+    eq_selectors: List[List[int]] = []  # per hypothesized frame
+    for k in range(1, max_k + 1):
+        # base case: frames 0..k-1 from the initial state
+        while base.depth < k:
+            t = base.extend()
+            for la, lb in zip(base.po_lits[t][0], base.po_lits[t][1]):
+                res = base_sess.prove_equal(la, lb, conflict_limit)
+                if res is False:
+                    return SeqCecResult(False, f"k-induction base (k={k})",
+                                        t + 1,
+                                        counterexample=base.extract_trace(t))
+                if res is None:
+                    return SeqCecResult(
+                        None, "k-induction (conflict budget exhausted)", t)
+        # inductive step: arbitrary state, assume equality on 0..k-1,
+        # prove it on frame k
+        while step.depth < k + 1:
+            step.extend()
+        while len(eq_selectors) < k:
+            t = len(eq_selectors)
+            eq_selectors.append([
+                step_sess.assume_equal(la, lb)
+                for la, lb in zip(step.po_lits[t][0], step.po_lits[t][1])])
+        assumptions = [s for sels in eq_selectors for s in sels]
+        inductive = all(
+            step_sess.prove_equal(la, lb, conflict_limit,
+                                  assumptions=assumptions) is True
+            for la, lb in zip(step.po_lits[k][0], step.po_lits[k][1]))
+        if inductive:
+            return SeqCecResult(True, f"k-induction (k={k})", k)
+    return SeqCecResult(None, f"k-induction inconclusive (max_k={max_k})", max_k)
+
+
+def seq_cec(a: LogicNetwork, b: LogicNetwork, *, max_k: int = 8,
+            depth: Optional[int] = None, sim_frames: int = 16,
+            n_patterns: int = 64, seed: int = 1,
+            conflict_limit: Optional[int] = None) -> SeqCecResult:
+    """Sequential CEC entry point: simulate, induct, fall back to BMC.
+
+    Random multi-frame simulation hunts for cheap refutations first (the
+    reported trace is then re-derived by BMC so it is exact), k-induction
+    tries for an unbounded proof, and if no ``k <= max_k`` is inductive the
+    verdict degrades to bounded equivalence over ``depth`` frames
+    (default ``2 * max_k``; ``bounded=True`` on the result).
+    """
+    _check_interface([a, b])
+    if depth is None:
+        depth = 2 * max_k
+    # cheap refutation: same random stimulus into both networks
+    rng = random.Random(seed)
+    mask = (1 << n_patterns) - 1
+    stim = [[rng.getrandbits(n_patterns) for _ in range(a.num_real_pis())]
+            for _ in range(sim_frames)]
+    for t, (oa, ob) in enumerate(zip(simulate_sequential(a, stim, mask),
+                                     simulate_sequential(b, stim, mask))):
+        if oa != ob:
+            # replay through BMC for an exact minimal-depth trace
+            return bmc_cec(a, b, t + 1, conflict_limit=conflict_limit)
+    res = k_induction_cec(a, b, max_k=max_k, conflict_limit=conflict_limit)
+    if res.equivalent is not None:
+        return res
+    return bmc_cec(a, b, depth, conflict_limit=conflict_limit)

@@ -1,0 +1,45 @@
+"""Multi-frame bit-parallel simulation with state feedback.
+
+Each frame is one call into the compiled combinational simulator
+(:func:`repro.sim.engine.simulate_words` — the per-network program cache
+means the compile cost is paid once per network, not per frame); register
+state flows between frames as packed words, so ``n_patterns`` independent
+traces advance per Python-level frame iteration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..networks.base import LogicNetwork
+from ..sim.engine import simulate_words
+
+__all__ = ["simulate_sequential"]
+
+
+def simulate_sequential(ntk: LogicNetwork,
+                        frame_inputs: Sequence[Sequence[int]],
+                        mask: int) -> List[List[int]]:
+    """Simulate ``len(frame_inputs)`` clock cycles bit-parallel.
+
+    ``frame_inputs[t][i]`` is the packed stimulus word of real PI ``i`` at
+    frame ``t`` (bit ``j`` = trace ``j``); ``mask`` selects the valid bits.
+    Registers start at their init values and feed their next-state words
+    forward between frames.  Returns one packed word per PO per frame.
+    """
+    regs = ntk.registers
+    ro_of = {n: i for i, (n, _, _) in enumerate(regs)}
+    n_real = ntk.num_real_pis()
+    state = [mask if init else 0 for _, _, init in regs]
+    out: List[List[int]] = []
+    for t, words in enumerate(frame_inputs):
+        if len(words) != n_real:
+            raise ValueError(
+                f"frame {t}: expected {n_real} real-PI words, got {len(words)}")
+        it = iter(words)
+        ci = [state[ro_of[n]] if n in ro_of else (next(it) & mask)
+              for n in ntk.pis]
+        vals = simulate_words(ntk, ci, mask)
+        out.append([vals[p >> 1] ^ (mask if p & 1 else 0) for p in ntk.pos])
+        state = [vals[ri >> 1] ^ (mask if ri & 1 else 0) for _, ri, _ in regs]
+    return out

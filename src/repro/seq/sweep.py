@@ -1,0 +1,124 @@
+"""Register sweep: merge registers proven equivalent by 1-induction.
+
+The scorr-style recipe on the repo's existing engines: multi-frame
+bit-parallel simulation (:mod:`repro.seq.sim`) partitions registers into
+candidate classes by init value and simulated state history; a single
+arbitrary-state time frame on an :class:`~repro.sat.session.EquivalenceSession`
+then proves the surviving pairs by 1-step induction — assume every candidate
+pair equal at frame 0 (selector-guarded, so refinement is free), prove each
+pair's next-state literals equal.  Failed pairs refine their class and the
+round repeats; proven classes merge onto their leader register and dead
+next-state cones are swept by the register-aware ``cleanup``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..networks.base import LogicNetwork
+from ..sat.session import EquivalenceSession
+from .bmc import TimeFrames
+from .sim import simulate_sequential
+
+__all__ = ["register_sweep"]
+
+
+def _signatures(ntk: LogicNetwork, n_frames: int, n_patterns: int,
+                seed: int) -> List[Tuple]:
+    """Per-register (init, state-history) signatures under random stimulus."""
+    regs = ntk.registers
+    rng = random.Random(seed)
+    mask = (1 << n_patterns) - 1
+    stim = [[rng.getrandbits(n_patterns) for _ in range(ntk.num_real_pis())]
+            for _ in range(n_frames)]
+    ro_of = {n: i for i, (n, _, _) in enumerate(regs)}
+    # track the register state words across frames (cheaper than re-running
+    # simulate_sequential per register: one pass, read the RI words)
+    from ..sim.engine import simulate_words
+
+    state = [mask if init else 0 for _, _, init in regs]
+    history = [[s] for s in state]
+    for words in stim:
+        it = iter(words)
+        ci = [state[ro_of[n]] if n in ro_of else next(it) for n in ntk.pis]
+        vals = simulate_words(ntk, ci, mask)
+        state = [vals[ri >> 1] ^ (mask if ri & 1 else 0) for _, ri, _ in regs]
+        for i, s in enumerate(state):
+            history[i].append(s)
+    return [tuple(h) for h in history]
+
+
+def _merge(ntk: LogicNetwork, replace: Dict[int, int]) -> LogicNetwork:
+    """Rebuild with register ``i`` replaced by its leader for each map entry."""
+    regs = ntk.registers
+    ro_of = {n: i for i, (n, _, _) in enumerate(regs)}
+    dst = type(ntk)()
+    mapping = {0: 0}
+    names = ntk.pi_names
+    kept: List[int] = []
+    for j, n in enumerate(ntk.pis):
+        i = ro_of.get(n)
+        if i is None:
+            mapping[n] = dst.create_pi(names[j])
+        elif i not in replace:
+            mapping[n] = dst.create_ro(names[j], regs[i][2])
+            kept.append(i)
+    for i, leader in replace.items():
+        mapping[regs[i][0]] = mapping[regs[leader][0]]
+    for n in ntk.gates():
+        fis = tuple(mapping[f >> 1] ^ (f & 1) for f in ntk.fanins(n))
+        mapping[n] = dst.create_gate(ntk.node_type(n), fis)
+    for p, name in zip(ntk.pos, ntk.po_names):
+        dst.create_po(mapping[p >> 1] ^ (p & 1), name)
+    for i in kept:
+        ri = regs[i][1]
+        dst.create_ri(mapping[ri >> 1] ^ (ri & 1))
+    return dst.cleanup()  # drop the merged registers' dead next-state cones
+
+
+def register_sweep(ntk: LogicNetwork, *, n_frames: int = 8,
+                   n_patterns: int = 64, seed: int = 1,
+                   conflict_limit: Optional[int] = 5000,
+                   max_rounds: int = 16) -> Tuple[LogicNetwork, int]:
+    """Merge induction-proven equivalent registers; returns ``(ntk, merged)``.
+
+    Sound: a merge happens only when, assuming all surviving candidate
+    pairs equal in an arbitrary state, every pair's next-state functions
+    are SAT-proven equal (and the init values already match).  Networks
+    without mergeable registers come back unchanged (same object).
+    """
+    regs = ntk.registers
+    if len(regs) < 2:
+        return ntk, 0
+    sigs = _signatures(ntk, n_frames, n_patterns, seed)
+    classes: Dict[Tuple, List[int]] = {}
+    for i, sig in enumerate(sigs):
+        classes.setdefault(sig, []).append(i)
+    pairs = [(members[0], m) for members in classes.values()
+             for m in members[1:]]
+    if not pairs:
+        return ntk, 0
+
+    session = EquivalenceSession(n_pis=0)
+    frames = TimeFrames(session, [ntk], initialized=False)
+    frames.extend()
+    state0 = frames.initial_state[0]   # arbitrary-state RO variables
+    next0 = frames.ri_lits[0][0]       # frame-0 next-state literals
+    selector = {(l, m): session.assume_equal(state0[l], state0[m])
+                for l, m in pairs}
+    for _ in range(max_rounds):
+        assumptions = [selector[p] for p in pairs]
+        failed = [p for p in pairs
+                  if session.prove_equal(next0[p[0]], next0[p[1]],
+                                         conflict_limit,
+                                         assumptions=assumptions) is not True]
+        if not failed:
+            break
+        pairs = [p for p in pairs if p not in failed]
+        if not pairs:
+            return ntk, 0
+    else:
+        return ntk, 0  # never converged inside the round budget
+    replace = {m: l for l, m in pairs}
+    return _merge(ntk, replace), len(replace)

@@ -1,0 +1,51 @@
+"""Time-frame expansion of sequential networks.
+
+Unrolling turns ``k`` clock cycles of a registered network into one plain
+combinational network: frame ``t`` gets its own copy of every real PI
+(named ``<pi>@t``) and every PO (named ``<po>@t``), register outputs read
+the previous frame's next-state literals, and frame 0 reads the init values
+(or fresh ``<reg>@init`` PIs for an arbitrary-state unrolling).
+
+This is the brute-force reference semantics: every sequential engine in
+this package (BMC, k-induction, multi-frame simulation) is differentially
+tested against CEC over :func:`unroll` outputs.
+"""
+
+from __future__ import annotations
+
+from ..networks.base import LogicNetwork
+
+__all__ = ["unroll"]
+
+
+def unroll(ntk: LogicNetwork, depth: int, *, initialized: bool = True) -> LogicNetwork:
+    """Expand ``depth`` time frames into one combinational network.
+
+    With ``initialized=True`` (default) frame 0 registers read their init
+    values as constants; otherwise each register's initial state becomes an
+    extra leading PI named ``<reg>@init``, which is the arbitrary-state
+    unrolling k-induction reasons over.
+    """
+    if depth < 0:
+        raise ValueError(f"unroll depth must be >= 0, got {depth}")
+    regs = ntk.registers
+    ro_of = {n: i for i, (n, _, _) in enumerate(regs)}
+    dst = type(ntk)()
+    names = ntk.pi_names
+    if initialized:
+        state = [init for _, _, init in regs]  # literals 0/1 are the constants
+    else:
+        state = [dst.create_pi(f"{names[j]}@init")
+                 for j, n in enumerate(ntk.pis) if n in ro_of]
+    for t in range(depth):
+        mapping = {0: 0}
+        for j, n in enumerate(ntk.pis):
+            i = ro_of.get(n)
+            mapping[n] = state[i] if i is not None else dst.create_pi(f"{names[j]}@{t}")
+        for n in ntk.gates():
+            fis = tuple(mapping[f >> 1] ^ (f & 1) for f in ntk.fanins(n))
+            mapping[n] = dst.create_gate(ntk.node_type(n), fis)
+        for p, name in zip(ntk.pos, ntk.po_names):
+            dst.create_po(mapping[p >> 1] ^ (p & 1), f"{name}@{t}")
+        state = [mapping[ri >> 1] ^ (ri & 1) for _, ri, _ in regs]
+    return dst

@@ -22,8 +22,8 @@ def _load_checker():
 
 
 def test_docs_tree_exists():
-    for page in ("index.md", "architecture.md", "flow-dsl.md", "batch.md",
-                 "serve.md"):
+    for page in ("index.md", "architecture.md", "flow-dsl.md", "sequential.md",
+                 "batch.md", "serve.md"):
         assert (DOCS / page).exists(), f"docs/{page} missing"
 
 

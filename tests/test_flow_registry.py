@@ -92,6 +92,24 @@ class TestRegistryCompleteness:
         assert get_pass("rs").verifying      # SAT-validated rewrites
         assert not get_pass("b").verifying
 
+    def test_seq_passes_registered_with_aliases(self):
+        assert get_pass("scorr") is get_pass("seq-sweep")
+        assert get_pass("retime") is get_pass("seq-retime")
+        assert get_pass("bmc") is get_pass("seq-bmc")
+        assert get_pass("kind") is get_pass("seq-ind")
+
+    def test_seq_passes_declare_sequential_capability(self):
+        for name in ("seq-sweep", "seq-retime", "seq-bmc", "seq-ind"):
+            assert get_pass(name).sequential, f"{name} must accept registers"
+        # structure-preserving utility passes work on either kind of network
+        for name in ("cv", "cec", "ps", "ckpt"):
+            assert get_pass(name).sequential, f"{name} must accept registers"
+
+    def test_comb_optimization_passes_are_not_sequential(self):
+        for name in ("b", "sw", "rf", "rs", "if", "gm", "am", "dch", "mch"):
+            assert not get_pass(name).sequential, \
+                f"{name} must refuse registered networks"
+
 
 class TestCapabilityEnforcement:
     def test_logic_pass_rejects_choice_state(self):
@@ -114,6 +132,27 @@ class TestCapabilityEnforcement:
         ntk = build("ctrl", "tiny")
         with pytest.raises(FlowError, match="cannot run on a lut"):
             FlowRunner().run(ntk, "if; b")
+
+    def test_comb_only_pass_rejects_registered_network(self):
+        ntk = build("counter", "tiny")
+        with pytest.raises(FlowError,
+                           match="combinational-only.*4 registers.*seq-"):
+            FlowRunner().run(ntk, "b")
+
+    def test_seq_passes_accept_registered_networks(self):
+        ntk = build("counter", "tiny")
+        out = FlowRunner(verify=True).run(ntk, "seq-sweep; seq-retime").network
+        assert out.num_registers() > 0
+
+    def test_seq_verification_passes_run_in_flows(self):
+        result = FlowRunner().run(build("lfsr", "tiny"),
+                                  "seq-bmc -d 4; seq-ind -k 4")
+        assert result.network.num_registers() == 5
+
+    def test_comb_circuits_keep_running_through_comb_flows(self):
+        # zero-register networks must be unaffected by the guard
+        result = FlowRunner().run(build("ctrl", "tiny"), "b; rf")
+        assert result.network.num_gates() > 0
 
 
 class TestFlowContext:

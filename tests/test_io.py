@@ -41,9 +41,12 @@ class TestAiger:
         back = read_aig_binary(data)
         assert cec(ntk, back)
 
-    def test_rejects_latches(self):
-        with pytest.raises(ValueError):
-            read_aag("aag 1 0 1 0 0\n2 2\n")
+    def test_reads_latches(self):
+        # latches are first-class now; only malformed headers are rejected
+        ntk = read_aag("aag 1 0 1 0 0\n2 2\n")
+        assert ntk.num_registers() == 1
+        with pytest.raises(ValueError, match="malformed AIGER header"):
+            read_aag("aag 0 0 1 0 0\n2 2\n")
 
     def test_rejects_garbage(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,231 @@
+"""Sequential engines: unrolling, simulation, BMC, induction, sweep, retime."""
+
+import pytest
+
+from repro.circuits import build
+from repro.networks import Aig
+from repro.sat import cec
+from repro.seq import (
+    bmc_cec,
+    k_induction_cec,
+    register_sweep,
+    retime_forward,
+    seq_cec,
+    simulate_sequential,
+    unroll,
+)
+
+
+def counter(width=3, init=0):
+    ntk = Aig()
+    en = ntk.create_pi("en")
+    state = [ntk.create_ro(f"c{i}", init=(init >> i) & 1) for i in range(width)]
+    carry = en
+    nexts = []
+    for s in state:
+        nexts.append(ntk.create_xor(s, carry))
+        carry = ntk.create_and(s, carry)
+    for i, nx in enumerate(nexts):
+        ntk.create_po(nx, f"q{i}")
+    for nx in nexts:
+        ntk.create_ri(nx)
+    return ntk
+
+
+def decode(word_per_po, bit):
+    """Trace ``bit`` of packed PO words -> integer value per frame."""
+    return sum(((w >> bit) & 1) << i for i, w in enumerate(word_per_po))
+
+
+def registered_and_layer(width=4):
+    """Per-bit AND of two registered operand words — every operand register
+    feeds exactly one gate, so forward retiming can collapse each pair.
+    (XOR would not do: an AIG decomposes it into ANDs that share fanins.)"""
+    ntk = Aig()
+    a = [ntk.create_pi(f"a{i}") for i in range(width)]
+    b = [ntk.create_pi(f"b{i}") for i in range(width)]
+    ra = [ntk.create_ro(f"ra{i}", init=0) for i in range(width)]
+    rb = [ntk.create_ro(f"rb{i}", init=i & 1) for i in range(width)]
+    for i in range(width):
+        ntk.create_po(ntk.create_and(ra[i], rb[i]), f"x{i}")
+    for lit in a + b:
+        ntk.create_ri(lit)
+    return ntk
+
+
+class TestSimulation:
+    def test_counter_counts(self):
+        outs = simulate_sequential(counter(), [[1]] * 6, 1)
+        assert [decode(w, 0) for w in outs] == [1, 2, 3, 4, 5, 6]
+
+    def test_enable_holds_state(self):
+        outs = simulate_sequential(counter(), [[1], [0], [0], [1]], 1)
+        assert [decode(w, 0) for w in outs] == [1, 1, 1, 2]
+
+    def test_nonzero_init_respected(self):
+        outs = simulate_sequential(counter(init=5), [[1]] * 2, 1)
+        assert [decode(w, 0) for w in outs] == [6, 7]
+
+    def test_bit_parallel_traces_independent(self):
+        # bit 0 always enabled, bit 1 never: two traces in one word
+        outs = simulate_sequential(counter(), [[0b01]] * 3, 0b11)
+        assert [decode(w, 0) for w in outs] == [1, 2, 3]
+        assert [decode(w, 1) for w in outs] == [0, 0, 0]
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expected 1 real-PI words"):
+            simulate_sequential(counter(), [[1, 1]], 1)
+
+
+class TestUnroll:
+    def test_unrolled_counter_matches_sequential_sim(self):
+        ntk = counter()
+        depth = 4
+        comb = unroll(ntk, depth)
+        assert not comb.has_registers()
+        assert comb.num_pis() == depth          # one "en" per frame
+        assert comb.num_pos() == depth * ntk.num_pos()
+        from repro.sim import simulate_words
+
+        vals = simulate_words(comb, [1] * depth, 1)
+        po_words = [vals[p >> 1] ^ (p & 1) for p in comb.pos]
+        seq = simulate_sequential(ntk, [[1]] * depth, 1)
+        flat = [w for frame in seq for w in frame]
+        assert po_words == flat
+
+    def test_uninitialized_unroll_exposes_state_as_pis(self):
+        ntk = counter()
+        comb = unroll(ntk, 2, initialized=False)
+        assert comb.num_pis() == 2 + ntk.num_registers()
+
+    def test_unroll_is_combinational_ground_truth_for_bmc(self):
+        a, b = counter(), counter(init=1)
+        ua, ub = unroll(a, 3), unroll(b, 3)
+        assert not cec(ua, ub)                  # differ from frame 0
+        assert bmc_cec(a, b, 3).equivalent is False
+
+
+class TestBmcAndInduction:
+    def test_bmc_proves_bounded_self_equivalence(self):
+        res = bmc_cec(counter(), counter(), 5)
+        assert res.equivalent is True and res.bounded
+
+    def test_bmc_finds_divergence_depth(self):
+        # two counters with different init diverge at the first frame
+        res = bmc_cec(counter(init=0), counter(init=1), 8)
+        assert res.equivalent is False
+        assert res.depth == 1
+        assert res.counterexample is not None
+
+    def test_bmc_counterexample_replays(self):
+        a, b = counter(init=0), counter(init=2)
+        res = bmc_cec(a, b, 8)
+        trace = [[int(v)] for frame in res.counterexample for v in [frame[0]]]
+        oa = simulate_sequential(a, trace, 1)
+        ob = simulate_sequential(b, trace, 1)
+        assert oa[-1] != ob[-1]
+
+    def test_k_induction_proves_retimed_circuit(self):
+        ntk = registered_and_layer()
+        out, moves = retime_forward(ntk)
+        assert moves > 0
+        res = k_induction_cec(ntk, out, max_k=6)
+        assert res.equivalent is True
+        assert not res.bounded
+
+    def test_k_induction_base_case_refutes(self):
+        res = k_induction_cec(counter(init=0), counter(init=3), max_k=4)
+        assert res.equivalent is False
+        assert res.counterexample
+
+    def test_interface_mismatch_rejected(self):
+        ntk = counter()
+        other = Aig()
+        other.create_pi("x")
+        other.create_po(2)
+        with pytest.raises(ValueError, match="interface mismatch"):
+            bmc_cec(ntk, other, 2)
+
+    def test_seq_cec_full_pipeline(self):
+        res = seq_cec(counter(), counter())
+        assert res.equivalent is True
+        res = seq_cec(counter(init=0), counter(init=1))
+        assert res.equivalent is False
+        assert res.counterexample is not None
+
+
+class TestRegisterSweep:
+    def test_duplicate_registers_merge(self):
+        ntk = Aig()
+        a = ntk.create_pi("a")
+        r1 = ntk.create_ro("r1", init=0)
+        r2 = ntk.create_ro("r2", init=0)
+        ntk.create_po(ntk.create_and(r1, r2), "out")
+        ntk.create_ri(a)
+        ntk.create_ri(a)                         # identical next-state
+        out, merged = register_sweep(ntk)
+        assert merged == 1
+        assert out.num_registers() == 1
+        assert seq_cec(ntk, out).equivalent is True
+
+    def test_different_inits_do_not_merge(self):
+        ntk = Aig()
+        a = ntk.create_pi("a")
+        r1 = ntk.create_ro("r1", init=0)
+        r2 = ntk.create_ro("r2", init=1)
+        ntk.create_po(ntk.create_xor(r1, r2), "out")
+        ntk.create_ri(a)
+        ntk.create_ri(a)
+        out, merged = register_sweep(ntk)
+        assert merged == 0 and out is ntk
+
+    def test_sweep_preserves_behaviour_on_generated_suite(self):
+        from repro.circuits import SEQUENTIAL
+
+        for name in SEQUENTIAL:
+            ntk = build(name, "tiny")
+            out, merged = register_sweep(ntk)
+            assert seq_cec(ntk, out, max_k=6).equivalent is not False, name
+
+
+class TestRetiming:
+    def test_moves_only_single_consumer_register_gates(self):
+        # r.next = !r (self-loop): the register feeds both the gate and
+        # itself, so nothing may move
+        ntk = Aig()
+        r = ntk.create_ro("r", init=0)
+        ntk.create_po(r, "q")
+        ntk.create_ri(r ^ 1)
+        out, moves = retime_forward(ntk)
+        assert moves == 0 and out is ntk
+
+    def test_and_layer_collapses_and_stays_equivalent(self):
+        ntk = registered_and_layer()
+        out, moves = retime_forward(ntk)
+        assert moves == 4
+        assert out.num_registers() == ntk.num_registers() // 2
+        assert seq_cec(ntk, out, max_k=8).equivalent is True
+
+    def test_generated_suite_unchanged_when_nothing_is_eligible(self):
+        # multi-fanout registers disqualify their gates; the conservative
+        # transform must hand the same object back rather than rebuild
+        ntk = build("pipeline", "tiny")
+        out, moves = retime_forward(ntk)
+        assert moves == 0 and out is ntk
+
+    def test_init_values_propagate_through_moved_gates(self):
+        # AND of two init=1 registers must become an init=1 register
+        ntk = Aig()
+        a = ntk.create_pi("a")
+        b = ntk.create_pi("b")
+        r1 = ntk.create_ro("r1", init=1)
+        r2 = ntk.create_ro("r2", init=1)
+        g = ntk.create_and(r1, r2)
+        ntk.create_po(g, "out")
+        ntk.create_ri(a)
+        ntk.create_ri(b)
+        out, moves = retime_forward(ntk)
+        assert moves == 1
+        assert out.num_registers() == 1
+        assert out.registers[0][2] == 1
+        assert seq_cec(ntk, out).equivalent is True

@@ -1,0 +1,187 @@
+"""Differential sequential harness: three independent engines must agree.
+
+For hundreds of randomized register-bearing networks, bounded equivalence
+is decided three ways that share no code path beyond the network core:
+
+1. ``bmc_cec`` — incremental time-frame SAT on one persistent solver;
+2. combinational CEC over ``unroll(..)`` — brute-force time unrolling into
+   a register-free network checked by the ordinary comb engine;
+3. exhaustive multi-frame bit-parallel simulation — every input trace of
+   the bounded window packed into one machine word sweep.
+
+The window is kept small enough (2 real PIs x 3 frames = 64 traces) that
+simulation is *exhaustive*, so all three verdicts are exact and must match
+bit for bit.  k-induction joins as a one-sided check: a ``True`` verdict is
+an unbounded proof, so every bounded engine must also report ``True``.
+"""
+
+import random
+
+import pytest
+
+from repro.networks import Aig
+from repro.sat import cec
+from repro.seq import (
+    bmc_cec,
+    k_induction_cec,
+    register_sweep,
+    retime_forward,
+    seq_cec,
+    simulate_sequential,
+    unroll,
+)
+
+N_REAL_PIS = 2
+N_REGS = 3
+N_GATES = 12
+DEPTH = 3                                   # 2**(2*3) = 64 exhaustive traces
+SEEDS_PER_CHUNK = 25
+N_CHUNKS = 8                                # 200 randomized networks total
+
+
+def random_seq_network(rng: random.Random) -> Aig:
+    ntk = Aig()
+    kinds = ["pi"] * N_REAL_PIS + ["ro"] * N_REGS
+    rng.shuffle(kinds)
+    lits = [ntk.create_pi() if k == "pi"
+            else ntk.create_ro(init=rng.randint(0, 1)) for k in kinds]
+    for _ in range(N_GATES):
+        a = rng.choice(lits) ^ rng.randint(0, 1)
+        b = rng.choice(lits) ^ rng.randint(0, 1)
+        lits.append(ntk.create_and(a, b))
+    for _ in range(2):
+        ntk.create_po(rng.choice(lits) ^ rng.randint(0, 1))
+    for _ in range(N_REGS):
+        ntk.create_ri(rng.choice(lits) ^ rng.randint(0, 1))
+    return ntk
+
+
+def mutate(ntk: Aig, rng: random.Random) -> Aig:
+    """A structural near-copy: flipped init, complemented RI, or comb tweak."""
+    dst = Aig()
+    mapping = {0: 0}
+    names = ntk.pi_names
+    ro_of = {n: i for i, (n, _, _) in enumerate(ntk.registers)}
+    flip = rng.randrange(ntk.num_registers() + ntk.num_pos())
+    for j, n in enumerate(ntk.pis):
+        if n in ro_of:
+            i = ro_of[n]
+            init = ntk.registers[i][2] ^ (1 if flip == i else 0)
+            mapping[n] = dst.create_ro(names[j], init)
+        else:
+            mapping[n] = dst.create_pi(names[j])
+    for g in ntk.gates():
+        fis = tuple(mapping[f >> 1] ^ (f & 1) for f in ntk.fanins(g))
+        mapping[g] = dst.create_gate(ntk.node_type(g), fis)
+    for j, p in enumerate(ntk.pos):
+        phase = 1 if flip == ntk.num_registers() + j else 0
+        dst.create_po(mapping[p >> 1] ^ (p & 1) ^ phase, ntk.po_names[j])
+    for _, ri, _ in ntk.registers:
+        dst.create_ri(mapping[ri >> 1] ^ (ri & 1))
+    return dst
+
+
+def exhaustive_stimulus():
+    """All ``2**(N_REAL_PIS * DEPTH)`` traces packed into one word sweep."""
+    n_traces = 1 << (N_REAL_PIS * DEPTH)
+    stim = []
+    for t in range(DEPTH):
+        frame = []
+        for i in range(N_REAL_PIS):
+            bit = t * N_REAL_PIS + i
+            frame.append(sum(((j >> bit) & 1) << j for j in range(n_traces)))
+        stim.append(frame)
+    return stim, (1 << n_traces) - 1
+
+
+STIM, MASK = exhaustive_stimulus()
+
+
+def sim_verdict(a: Aig, b: Aig) -> bool:
+    """Exhaustive bounded equivalence by bit-parallel simulation."""
+    return simulate_sequential(a, STIM, MASK) == simulate_sequential(b, STIM, MASK)
+
+
+def unroll_verdict(a: Aig, b: Aig) -> bool:
+    """Bounded equivalence via brute-force unrolling + combinational CEC."""
+    return bool(cec(unroll(a, DEPTH), unroll(b, DEPTH)))
+
+
+@pytest.mark.parametrize("chunk", range(N_CHUNKS))
+def test_three_way_differential(chunk):
+    base = chunk * SEEDS_PER_CHUNK
+    for seed in range(base, base + SEEDS_PER_CHUNK):
+        rng = random.Random(seed)
+        a = random_seq_network(rng)
+        # a spread of relationships: identical rebuild, near-miss mutation,
+        # or an unrelated network with the same interface
+        relation = seed % 3
+        if relation == 0:
+            b = mutate(a, rng)
+        elif relation == 1:
+            b = random_seq_network(random.Random(seed + 10_000))
+        else:
+            b = a.cleanup()                  # behaviourally identical
+        bmc = bmc_cec(a, b, DEPTH)
+        assert bmc.equivalent is not None, f"seed {seed}: BMC inconclusive"
+        sim = sim_verdict(a, b)
+        unrolled = unroll_verdict(a, b)
+        assert bmc.equivalent == sim == unrolled, \
+            (f"seed {seed}: verdicts disagree — bmc={bmc.equivalent} "
+             f"sim={sim} unrolled-cec={unrolled}")
+        if bmc.equivalent is False:
+            # the trace must actually drive the networks apart
+            trace = [[int(v) for v in frame] for frame in bmc.counterexample]
+            oa = simulate_sequential(a, trace, 1)
+            ob = simulate_sequential(b, trace, 1)
+            assert oa[-1] != ob[-1], f"seed {seed}: bogus counterexample"
+
+
+@pytest.mark.parametrize("chunk", range(4))
+def test_k_induction_one_sided_agreement(chunk):
+    # an unbounded True must imply bounded True everywhere; a False must
+    # carry a trace the bounded engines confirm
+    for seed in range(chunk * 10, chunk * 10 + 10):
+        rng = random.Random(seed)
+        a = random_seq_network(rng)
+        b = mutate(a, rng) if seed % 2 else a.cleanup()
+        res = k_induction_cec(a, b, max_k=5)
+        if res.equivalent is True:
+            assert sim_verdict(a, b), f"seed {seed}: induction proof refuted"
+            assert bmc_cec(a, b, DEPTH).equivalent is True
+        elif res.equivalent is False:
+            # the refutation may lie beyond the exhaustive window, but the
+            # carried trace must replay to a real divergence
+            trace = [[int(v) for v in frame] for frame in res.counterexample]
+            oa = simulate_sequential(a, trace, 1)
+            ob = simulate_sequential(b, trace, 1)
+            assert oa[-1] != ob[-1], f"seed {seed}: bogus refutation"
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_transforms_preserve_bounded_behaviour(seed):
+    # sweep and retime outputs must stay indistinguishable from the input
+    # under the exhaustive window
+    rng = random.Random(seed)
+    a = random_seq_network(rng)
+    swept, _ = register_sweep(a)
+    assert sim_verdict(a, swept), f"seed {seed}: sweep changed behaviour"
+    retimed, _ = retime_forward(a)
+    assert sim_verdict(a, retimed), f"seed {seed}: retime changed behaviour"
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_seq_cec_agrees_with_exhaustive_simulation(seed):
+    rng = random.Random(seed)
+    a = random_seq_network(rng)
+    b = mutate(a, rng)
+    res = seq_cec(a, b, max_k=4, depth=DEPTH)
+    if res.equivalent is True:
+        assert sim_verdict(a, b), \
+            f"seed {seed}: seq_cec proved equal but exhaustive sim differs"
+    elif res.equivalent is False:
+        # refutations can be deeper than the exhaustive window; the trace
+        # itself is the witness
+        trace = [[int(v) for v in frame] for frame in res.counterexample]
+        assert simulate_sequential(a, trace, 1)[-1] \
+            != simulate_sequential(b, trace, 1)[-1], f"seed {seed}"
