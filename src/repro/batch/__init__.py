@@ -21,7 +21,12 @@ suite-throughput machine, in three pieces:
   fingerprints): ``run(..., resume=True)`` skips circuits already ``ok``
   under the key, and ``cooperate=True`` claims circuits through the store
   so several runner processes share one suite.
-  :meth:`~repro.batch.store.ResultStore.compare` diffs runs bit-for-bit;
+  :meth:`~repro.batch.store.ResultStore.compare` diffs runs bit-for-bit.
+  Appends are disk-safe: an ENOSPC/short write is rolled back
+  (:class:`~repro.batch.store.StoreWriteError`) so the file keeps a clean
+  resumable prefix.  The store also holds the circuit breaker's
+  quarantine records — a circuit failing identically across runs is
+  skipped by later resumed runs until requarantined;
 * :mod:`~repro.batch.events` — :class:`RunEvent` progress stream
   (``started`` / ``retried`` / ``crashed`` / ``finished`` / …) through a
   pluggable sink;
@@ -46,8 +51,10 @@ The CLI fronts this with ``repro suite`` (list/show manifests) and
 """
 
 from .suite import Suite, SuiteEntry, available_suites, get_suite
-from .runner import BatchResult, BatchRunner, CircuitOutcome, state_fingerprint
-from .store import Comparison, ResultStore, RunInfo, git_revision, run_key
+from .runner import (BatchResult, BatchRunner, CircuitOutcome,
+                     jittered_backoff, parse_memory_limit, state_fingerprint)
+from .store import (Comparison, ResultStore, RunInfo, StoreWriteError,
+                    failure_signature, git_revision, run_key)
 from .events import EventLog, JsonlEventSink, RunEvent, event_sink, read_events
 from .faults import Fault, FaultPlan, TransientFault
 
@@ -60,9 +67,13 @@ __all__ = [
     "BatchResult",
     "CircuitOutcome",
     "state_fingerprint",
+    "jittered_backoff",
+    "parse_memory_limit",
     "ResultStore",
     "RunInfo",
     "Comparison",
+    "StoreWriteError",
+    "failure_signature",
     "git_revision",
     "run_key",
     "RunEvent",

@@ -21,6 +21,17 @@ Event kinds:
              and did not re-execute the circuit
 ``claimed``  a cooperating runner holds the circuit's claim, so this
              runner yielded it
+``oom``      the circuit exceeded its memory budget — either the worker
+             reported :class:`MemoryError` under ``RLIMIT_AS`` or the
+             supervisor's RSS poll killed it (``detail`` says which)
+``quarantined`` the circuit breaker acted: either a circuit just crossed
+             the identical-failure threshold and was recorded as
+             quarantined, or a resumed run skipped an already-quarantined
+             circuit (``detail`` distinguishes the two)
+``sink_disabled`` a :class:`JsonlEventSink` recovered from a write
+             failure; the event records how many events were dropped
+             while the sink was down (written at the first successful
+             append after :meth:`JsonlEventSink.rearm`)
 ========== ==============================================================
 
 A sink that raises does not kill the run — the runner catches and warns.
@@ -30,6 +41,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import warnings
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -40,7 +52,7 @@ __all__ = ["RunEvent", "EventLog", "JsonlEventSink", "EVENT_KINDS",
 
 #: every event kind the runner emits, in rough life-cycle order
 EVENT_KINDS = ("started", "finished", "retried", "timeout", "crashed",
-               "skipped", "claimed")
+               "skipped", "claimed", "oom", "quarantined", "sink_disabled")
 
 
 @dataclass(frozen=True)
@@ -96,29 +108,67 @@ class JsonlEventSink:
 
     A sink whose path cannot be opened (or whose device fills up) warns
     **once** and disables itself — progress telemetry must never cost a
-    run, and must not warn again on every subsequent event.
+    run, and must not warn again on every subsequent event.  The disable
+    lasts for the *current run only*: the runner calls :meth:`rearm` at
+    the start of every run, so a sink broken in run 1 (full disk, missing
+    mount) gets another chance in run 2 once the fault clears.  The first
+    successful append after a re-arm writes a ``sink_disabled`` event
+    recording how many events the outage swallowed, so readers can see
+    the gap instead of inferring it.
     """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self._fh = None
         self._broken = False
+        self._dropped = 0
+        self._notice: Optional[dict] = None
 
     def __call__(self, event: RunEvent) -> None:
         """Append one event line (the sink protocol)."""
         if self._broken:
+            self._dropped += 1
             return
         try:
             if self._fh is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 self._fh = self.path.open("a")
+            if self._notice is not None:
+                self._fh.write(json.dumps(self._notice) + "\n")
+                self._notice = None
             self._fh.write(json.dumps(event.to_dict()) + "\n")
             self._fh.flush()
             os.fsync(self._fh.fileno())
         except OSError as exc:
             self._broken = True
+            self._dropped += 1
             warnings.warn(f"event sink {self.path}: disabled after write "
                           f"failure: {exc}")
+
+    def rearm(self) -> None:
+        """Give a tripped sink another chance (called at run start).
+
+        A no-op on a healthy sink.  On a broken one: clears the disable,
+        drops the stale file handle, and queues a ``sink_disabled`` event
+        carrying the dropped-event count, written just before the first
+        event that lands after recovery.
+        """
+        if not self._broken:
+            return
+        self._broken = False
+        self.close()
+        self._notice = RunEvent(
+            kind="sink_disabled", circuit="", index=-1,
+            detail=(f"sink re-armed after a write failure; "
+                    f"{self._dropped} event(s) were dropped"),
+            at=time.time(),
+        ).to_dict()
+        self._dropped = 0
+
+    @property
+    def dropped(self) -> int:
+        """How many events the current outage (if any) has swallowed."""
+        return self._dropped
 
     def close(self) -> None:
         """Close the underlying file (idempotent)."""

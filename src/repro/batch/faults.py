@@ -3,14 +3,26 @@
 A :class:`FaultPlan` maps circuit names to injected failures; the runner
 ships the plan to its workers inside each job payload, and
 ``_execute_flow_job`` triggers the fault just before building the circuit.
-Three modes cover the failure classes a long suite run actually hits:
+The modes cover the failure classes a long suite run actually hits:
 
 * ``"raise"`` — raise :class:`TransientFault` (an ordinary per-circuit
   error: isolated, retryable);
 * ``"hang"``  — sleep past the per-circuit timeout (the worker must be
   *killed*, not joined);
 * ``"exit"``  — ``os._exit`` the worker process mid-circuit (the hard
-  crash: no exception, no result, a dead pipe).
+  crash: no exception, no result, a dead pipe);
+* ``"memhog"`` — allocate memory as fast as possible, up to ``mb``
+  megabytes: under a worker memory budget (``RLIMIT_AS``) the allocation
+  trips :class:`MemoryError` and the circuit becomes an ``oom`` outcome;
+  without a budget the hog is freed and the circuit completes (a spike,
+  not a leak);
+* ``"slowleak"`` — leak memory *gradually* (small chunks, short sleeps)
+  up to ``mb`` megabytes and then hold it for ``seconds`` — the shape the
+  supervisor-side RSS poll exists to catch on platforms (or workers)
+  where ``setrlimit`` is unavailable;
+* ``"enospc"`` — raise ``OSError(ENOSPC)``, modeling a worker whose
+  scratch writes hit a full disk (a deterministic ``error`` outcome — the
+  quarantine breaker's bread and butter).
 
 ``times`` bounds the injection to the first N attempts, which is how the
 tests model *transient* failures: attempt 1 faults, the retry succeeds.
@@ -21,6 +33,7 @@ path imports it unless a plan is actually installed.
 
 from __future__ import annotations
 
+import errno
 import os
 import time
 from dataclasses import dataclass
@@ -29,7 +42,7 @@ from typing import Dict, Union
 __all__ = ["Fault", "FaultPlan", "TransientFault", "FAULT_MODES"]
 
 #: the supported injection modes
-FAULT_MODES = ("raise", "hang", "exit")
+FAULT_MODES = ("raise", "hang", "exit", "memhog", "enospc", "slowleak")
 
 
 class TransientFault(RuntimeError):
@@ -41,14 +54,17 @@ class Fault:
     """One injected failure: a mode plus its knobs.
 
     ``times=0`` injects on every attempt; ``times=N`` only on the first N
-    attempts (so retry N+1 succeeds).  ``seconds`` is the hang duration;
-    ``exit_code`` the ``os._exit`` status of a crash.
+    attempts (so retry N+1 succeeds).  ``seconds`` is the hang duration
+    (for ``"slowleak"``, how long the leaked memory is *held*);
+    ``exit_code`` the ``os._exit`` status of a crash; ``mb`` how many
+    megabytes ``"memhog"``/``"slowleak"`` try to allocate.
     """
 
     mode: str
     times: int = 0
     seconds: float = 3600.0
     exit_code: int = 13
+    mb: int = 512
 
     def __post_init__(self):
         if self.mode not in FAULT_MODES:
@@ -72,7 +88,7 @@ class FaultPlan:
 
     def to_payload(self) -> dict:
         """The tiny picklable form shipped inside job payloads."""
-        return {name: (f.mode, f.times, f.seconds, f.exit_code)
+        return {name: (f.mode, f.times, f.seconds, f.exit_code, f.mb)
                 for name, f in self.faults.items()}
 
 
@@ -86,7 +102,10 @@ def apply_fault(payload: dict, circuit: str, attempt: int) -> None:
     spec = payload.get(circuit)
     if spec is None:
         return
-    mode, times, seconds, exit_code = spec
+    # Older payloads (and tests that hand-build them) are 4-tuples without
+    # the mb field — default it rather than breaking on unpack.
+    mode, times, seconds, exit_code = spec[:4]
+    mb = spec[4] if len(spec) > 4 else 512
     if times and attempt > times:
         return
     if mode == "raise":
@@ -97,3 +116,37 @@ def apply_fault(payload: dict, circuit: str, attempt: int) -> None:
         return
     if mode == "exit":
         os._exit(exit_code)
+    if mode == "memhog":
+        _hog_memory(circuit, mb, chunk_mb=16, pause=0.0, hold=0.0)
+        return
+    if mode == "slowleak":
+        _hog_memory(circuit, mb, chunk_mb=8, pause=0.01, hold=seconds)
+        return
+    if mode == "enospc":
+        raise OSError(errno.ENOSPC,
+                      f"injected ENOSPC on {circuit!r}: no space left on "
+                      "scratch device")
+
+
+def _hog_memory(circuit: str, mb: int, *, chunk_mb: int, pause: float,
+                hold: float) -> None:
+    """Allocate ``mb`` megabytes in chunks, hold for ``hold`` seconds, free.
+
+    Under ``RLIMIT_AS`` the allocation trips :class:`MemoryError`; the hog
+    is dropped *before* re-raising so the handler itself has headroom, and
+    a fresh small MemoryError propagates to the worker's job loop.
+    """
+    hog = []
+    try:
+        for _ in range(max(1, (mb + chunk_mb - 1) // chunk_mb)):
+            hog.append(bytearray(chunk_mb * 1024 * 1024))
+            if pause:
+                time.sleep(pause)
+        if hold:
+            time.sleep(hold)
+    except MemoryError:
+        hog.clear()
+        raise MemoryError(
+            f"injected memory hog on {circuit!r} exceeded the budget")
+    finally:
+        hog.clear()

@@ -27,6 +27,13 @@ Guarantees:
 * **cooperation** — ``run(..., cooperate=True)`` claims each circuit
   through the store's append-only JSONL before dispatching it, letting
   multiple runner processes share one suite without duplicated work;
+* **resource governance** — ``memory_limit`` applies ``RLIMIT_AS`` inside
+  every pool worker (and an RSS poll in the supervisor as the fallback for
+  platforms or workloads the rlimit cannot see), turning a memory-hungry
+  circuit into exactly one final ``oom`` outcome instead of a host-wide
+  OOM kill; a circuit failing *identically* across ``quarantine_after``
+  runs is recorded as quarantined in the store and skipped by later
+  resumed/cooperative runs until ``requarantine=True`` clears it;
 * **reproducibility metadata** — every outcome carries wall time, cost
   before/after, pass count and a structural fingerprint
   (:func:`state_fingerprint`) so two runs can be diffed bit-for-bit by
@@ -42,6 +49,8 @@ from __future__ import annotations
 
 import hashlib
 import os
+import random
+import re
 import time
 import traceback as _traceback
 import warnings
@@ -57,13 +66,105 @@ from ..networks.flat import FlatNetwork
 from .events import RunEvent
 from .suite import Suite, SuiteEntry
 
-__all__ = ["BatchRunner", "BatchResult", "CircuitOutcome", "state_fingerprint"]
+__all__ = ["BatchRunner", "BatchResult", "CircuitOutcome", "state_fingerprint",
+           "jittered_backoff", "parse_memory_limit"]
 
 #: outcome statuses that count as failures of the run
-_FAILURE_STATUSES = ("error", "crashed", "timeout")
+_FAILURE_STATUSES = ("error", "crashed", "timeout", "oom")
 
 #: outcome statuses recorded into a result store
-_RECORDED_STATUSES = ("ok",) + _FAILURE_STATUSES
+_RECORDED_STATUSES = ("ok",) + _FAILURE_STATUSES + ("quarantined",)
+
+#: how often the supervisor samples worker RSS when a memory limit is set
+_MEM_POLL = 0.2
+
+
+def jittered_backoff(base: float, attempt: int, *, cap: float = 60.0,
+                     rng: Optional[Callable[[], float]] = None) -> float:
+    """Retry delay for ``attempt`` (1-based): capped exponential backoff
+    plus additive jitter.
+
+    Returns a delay in ``[d, 1.5*d]`` where ``d = min(cap, base *
+    2**(attempt-1))`` — the nominal delay is a *lower bound* (callers may
+    rely on "never retries early"), while the jitter decorrelates
+    simultaneous retries so a burst of failures against a saturated
+    daemon does not thundering-herd it on the exact same schedule.
+    ``rng`` injects a ``random.random``-shaped source for deterministic
+    tests.  Shared by :class:`BatchRunner` retries and
+    :class:`~repro.serve.client.ServeClient` 429 backoff.
+    """
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    draw = rng() if rng is not None else random.random()
+    nominal = min(cap, base * (2 ** (attempt - 1)))
+    return nominal * (1.0 + 0.5 * draw)
+
+
+_MEM_SUFFIXES = {"": 1, "b": 1,
+                 "k": 1024, "kb": 1024,
+                 "m": 1024 ** 2, "mb": 1024 ** 2,
+                 "g": 1024 ** 3, "gb": 1024 ** 3,
+                 "t": 1024 ** 4, "tb": 1024 ** 4}
+
+
+def parse_memory_limit(limit: Union[int, float, str, None]) -> Optional[int]:
+    """Normalize a memory budget to bytes.
+
+    Accepts ``None`` (no limit), a number of bytes, or a string with an
+    optional binary suffix: ``"512M"``, ``"2GB"``, ``"1.5g"``,
+    ``"1048576"``.  Rejects non-positive and unparsable values — a typo'd
+    limit must fail loudly, not silently run unbounded.
+    """
+    if limit is None:
+        return None
+    if isinstance(limit, (int, float)):
+        value = int(limit)
+    else:
+        m = re.fullmatch(r"\s*([0-9]+(?:\.[0-9]+)?)\s*([a-zA-Z]*)\s*",
+                         str(limit))
+        if not m or m.group(2).lower() not in _MEM_SUFFIXES:
+            raise ValueError(
+                f"unparsable memory limit {limit!r} (expected e.g. "
+                "'512M', '2G', or a byte count)")
+        value = int(float(m.group(1)) * _MEM_SUFFIXES[m.group(2).lower()])
+    if value <= 0:
+        raise ValueError(f"memory limit must be positive, got {limit!r}")
+    return value
+
+
+def _apply_memory_limit(limit_bytes: int) -> bool:
+    """Best-effort ``RLIMIT_AS`` inside a worker process; returns whether
+    the limit took.  False (no ``resource`` module, an unsupported
+    platform, a hard limit below ours) leaves the supervisor's RSS poll
+    as the only enforcement — which is exactly why the poll exists.
+    """
+    try:
+        import resource
+
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY and hard < limit_bytes:
+            limit_bytes = hard
+        resource.setrlimit(resource.RLIMIT_AS, (limit_bytes, hard))
+        return True
+    except (ImportError, AttributeError, ValueError, OSError):
+        return False
+
+
+_PAGE_SIZE = 4096
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):
+    pass
+
+
+def _rss_bytes(pid: int) -> Optional[int]:
+    """Resident set size of ``pid`` in bytes via ``/proc`` (None where
+    unavailable — the RSS poll degrades to rlimit-only enforcement)."""
+    try:
+        with open(f"/proc/{pid}/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        return None
 
 
 # ---------------------------------------------------------------------- #
@@ -162,7 +263,10 @@ class CircuitOutcome:
     ``status`` is one of ``ok`` (flow completed), ``error`` (the flow
     raised), ``crashed`` (the worker process died mid-circuit), ``timeout``
     (the circuit exceeded the hard per-circuit timeout and its worker was
-    killed) or ``claimed`` (a cooperating runner holds the circuit).
+    killed), ``oom`` (the circuit exceeded its memory budget — final,
+    never retried by default), ``quarantined`` (the circuit breaker
+    skipped it on a resumed run) or ``claimed`` (a cooperating runner
+    holds the circuit).
     """
 
     name: str
@@ -255,6 +359,12 @@ class BatchResult:
         """Outcomes copied forward from prior runs under the same run key."""
         return [o for o in self.outcomes if o.resumed_from]
 
+    @property
+    def quarantined(self) -> List[CircuitOutcome]:
+        """Outcomes the circuit breaker skipped (not counted as failures —
+        the breaker tripping is old news, not a new regression)."""
+        return [o for o in self.outcomes if o.status == "quarantined"]
+
     def by_name(self) -> Dict[str, CircuitOutcome]:
         return {o.name: o for o in self.outcomes}
 
@@ -337,6 +447,13 @@ def _execute_flow_job(payload: dict, ctx: Optional[FlowContext] = None,
                 outcome.network = net
         if keep_objects:
             outcome.result = result
+    except MemoryError as exc:           # budget hit: final, not retried
+        # no traceback capture — formatting one allocates, and the worker
+        # is already at its RLIMIT_AS ceiling
+        outcome.seconds = time.perf_counter() - t0
+        outcome.status = "oom"
+        outcome.error = f"MemoryError: {exc}" if str(exc) else \
+            "MemoryError: circuit exceeded the worker memory budget"
     except Exception as exc:             # per-circuit isolation
         outcome.seconds = time.perf_counter() - t0
         outcome.status = "error"
@@ -352,14 +469,21 @@ def _execute_map_job(payload: tuple):
     return index, fn(task, ctx)
 
 
-def _worker_main(conn, n_patterns: int, seed: int) -> None:
+def _worker_main(conn, n_patterns: int, seed: int,
+                 memory_limit: Optional[int] = None) -> None:
     """Supervised pool worker: receive payloads, execute, send outcomes.
 
     The loop ends on a ``None`` payload (orderly shutdown) or a dead pipe
     (the supervisor went away).  ``_execute_flow_job`` never raises, so
     the only ways a worker dies mid-circuit are real crashes — which is
     exactly what the supervisor's pipe-EOF detection is for.
+
+    ``memory_limit`` (bytes) installs ``RLIMIT_AS`` before the first job:
+    an allocation past the budget raises ``MemoryError`` inside the job
+    and comes home as a clean ``oom`` outcome rather than a dead worker.
     """
+    if memory_limit is not None:
+        _apply_memory_limit(memory_limit)
     _init_worker(n_patterns, seed)
     while True:
         try:
@@ -388,16 +512,18 @@ class _PoolWorker:
         self.started: float = 0.0             # monotonic dispatch time
 
 
-def spawn_pool_worker(n_patterns: int = 256, seed: int = 1) -> _PoolWorker:
+def spawn_pool_worker(n_patterns: int = 256, seed: int = 1,
+                      memory_limit: Optional[int] = None) -> _PoolWorker:
     """Spawn one supervised pool worker: a daemon process running
     :func:`_worker_main` with a warm :class:`FlowContext`, attached to the
     supervisor by one duplex pipe.  Shared by :class:`BatchRunner` and the
-    serve daemon's persistent pool."""
+    serve daemon's persistent pool.  ``memory_limit`` (bytes) caps the
+    worker's address space via ``RLIMIT_AS``."""
     import multiprocessing as mp
 
     parent_conn, child_conn = mp.Pipe()
     proc = mp.Process(target=_worker_main,
-                      args=(child_conn, n_patterns, seed),
+                      args=(child_conn, n_patterns, seed, memory_limit),
                       daemon=True)
     proc.start()
     child_conn.close()
@@ -437,9 +563,23 @@ class BatchRunner:
       ``timeout`` outcome (in-process runs cannot be killed, so ``jobs=1``
       ignores it);
     * ``retries`` — extra attempts for ``error`` and ``crashed`` circuits,
-      delayed by ``backoff * 2**(attempt-1)`` seconds;
+      delayed by :func:`jittered_backoff` (capped exponential, additive
+      jitter so simultaneous retries decorrelate);
     * a worker that dies mid-circuit yields exactly one ``crashed``
-      outcome (elapsed time + pid); pending circuits are unaffected.
+      outcome (elapsed time + pid); pending circuits are unaffected;
+    * ``memory_limit`` — per-worker memory budget (bytes, or a string
+      like ``"512M"``): applied as ``RLIMIT_AS`` inside each worker, and
+      enforced from the supervisor by an RSS poll for workers the rlimit
+      cannot protect.  A circuit over budget becomes exactly one final
+      ``oom`` outcome — never retried, never cascading (``jobs=1``
+      in-process runs cannot be rlimited, but a ``MemoryError`` there is
+      still classified ``oom``);
+    * ``quarantine_after`` — the circuit breaker: a circuit that fails
+      with the same :func:`~repro.batch.store.failure_signature` in this
+      many runs under one run key is recorded as quarantined in the
+      store; resumed/cooperative runs then skip it (with a
+      ``quarantined`` event) until ``run(..., requarantine=True)``
+      clears it.  ``0`` disables the breaker.
 
     ``order="largest"`` dispatches biggest circuits first to bound the
     straggler tail (results still return in suite order); ``"suite"``
@@ -457,7 +597,9 @@ class BatchRunner:
                  timeout: Optional[float] = None, retries: int = 0,
                  backoff: float = 0.5, order: str = "suite",
                  events: Optional[Callable] = None, faults=None,
-                 claim_ttl: Optional[float] = None, owner: str = ""):
+                 claim_ttl: Optional[float] = None, owner: str = "",
+                 memory_limit: Union[int, str, None] = None,
+                 quarantine_after: int = 2):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if transfer not in ("auto", "shm", "pickle"):
@@ -468,6 +610,11 @@ class BatchRunner:
             raise ValueError(f"timeout must be positive, got {timeout}")
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if quarantine_after < 0:
+            raise ValueError(
+                f"quarantine_after must be >= 0, got {quarantine_after}")
+        self.memory_limit = parse_memory_limit(memory_limit)
+        self.quarantine_after = quarantine_after
         self.jobs = jobs
         self.ctx = context if context is not None else FlowContext(
             n_patterns=n_patterns, seed=seed)
@@ -494,7 +641,7 @@ class BatchRunner:
     def run(self, circuits: Union[Suite, Iterable], flow,
             *, scale: Optional[str] = None, store=None,
             store_meta: Optional[dict] = None, resume: bool = False,
-            cooperate: bool = False) -> BatchResult:
+            cooperate: bool = False, requarantine: bool = False) -> BatchResult:
         """Run one flow over a suite / circuit list; returns a
         :class:`BatchResult` with outcomes in suite order.
 
@@ -509,7 +656,10 @@ class BatchRunner:
         under the same run key (copying them forward into this run);
         ``cooperate=True`` claims each circuit through the store before
         dispatching it so concurrent runners share the suite.  Both need
-        ``store``.
+        ``store``, and both honor the circuit breaker: circuits recorded
+        as quarantined under the run key are skipped (a ``quarantined``
+        outcome + event), unless ``requarantine=True`` first clears the
+        quarantine records and lets every circuit run again.
         """
         suite_name = ""
         if isinstance(circuits, Suite):
@@ -521,12 +671,16 @@ class BatchRunner:
         scale = scale or "small"
         flow_text = resolve_flow(flow).to_script()
 
-        from .store import ResultStore, run_key as _run_key
+        from .store import ResultStore, StoreWriteError, run_key as _run_key
 
         if store is not None and not isinstance(store, ResultStore):
             store = ResultStore(store)
         if (resume or cooperate) and store is None:
             raise ValueError("resume/cooperate need a result store")
+        if requarantine and store is None:
+            raise ValueError("requarantine needs a result store")
+        if self.events is not None and hasattr(self.events, "rearm"):
+            self.events.rearm()          # a sink broken last run gets retried
 
         payloads = self._payloads(items, flow_text, scale)
         key = _run_key(flow_text, suite_name, scale,
@@ -545,10 +699,20 @@ class BatchRunner:
         def finalize(outcome: CircuitOutcome) -> None:
             outcomes[outcome.index] = outcome
             if store is not None and outcome.status in _RECORDED_STATUSES:
-                store.append_result(run_id, outcome.to_record())
+                try:
+                    store.append_result(run_id, outcome.to_record())
+                except StoreWriteError as exc:
+                    # the record is lost (a resume re-runs this circuit),
+                    # the run — and the file — survive
+                    warnings.warn(f"result store append failed for "
+                                  f"{outcome.name!r}: {exc}")
+                else:
+                    self._maybe_quarantine(store, key, outcome)
             if self.progress:
                 self.progress(len(outcomes), total, outcome)
 
+        if requarantine:
+            store.requarantine(key)
         if resume:
             prior = store.completed(key)
             todo = []
@@ -561,6 +725,24 @@ class BatchRunner:
                 self._emit("skipped", outcome,
                            detail=f"ok under run key {key} "
                                   f"(run {outcome.resumed_from})")
+                finalize(outcome)
+            payloads = todo
+        if (resume or cooperate) and self.quarantine_after:
+            held = store.quarantined(key)
+            todo = []
+            for p in payloads:
+                q = held.get(p["name"])
+                if q is None:
+                    todo.append(p)
+                    continue
+                outcome = CircuitOutcome(
+                    name=p["name"], index=p["index"], status="quarantined",
+                    error=(f"quarantined after {q.get('runs', '?')} identical "
+                           f"{q.get('status', 'failed')} outcomes: "
+                           f"{q.get('error', '')}"))
+                self._emit("quarantined", outcome,
+                           detail=f"skipped: quarantined under run key {key} "
+                                  f"(clear with requarantine)")
                 finalize(outcome)
             payloads = todo
         if self.order == "largest":
@@ -589,8 +771,12 @@ class BatchRunner:
                              run_id=run_id, run_key=key,
                              transfer=self.transfer if pooled else "")
         if store is not None:
-            store.close_run(run_id, wall_seconds=wall,
-                            failures=len(result.failures))
+            try:
+                store.close_run(run_id, wall_seconds=wall,
+                                failures=len(result.failures))
+            except StoreWriteError as exc:
+                # an unclosed run reads back as interrupted — resumable
+                warnings.warn(f"result store close failed: {exc}")
         return result
 
     def _payloads(self, items: Sequence, flow_text: str, scale: str) -> List[dict]:
@@ -740,8 +926,52 @@ class BatchRunner:
         outcome.summary = f"resumed from {outcome.resumed_from}"
         return outcome
 
+    def _maybe_quarantine(self, store, key: str,
+                          outcome: CircuitOutcome) -> None:
+        """Trip the circuit breaker when a failure keeps repeating.
+
+        Called after ``outcome``'s record was appended: counts the runs
+        under ``key`` whose record for this circuit carries the same
+        :func:`~repro.batch.store.failure_signature` (the just-written
+        record included), and appends a quarantine line once the count
+        reaches ``quarantine_after``.  Store trouble only warns — the
+        breaker is protection, not a new failure mode.
+        """
+        if (not self.quarantine_after or not key
+                or outcome.status not in _FAILURE_STATUSES):
+            return
+        from .store import StoreWriteError, failure_signature
+
+        try:
+            sig = failure_signature(outcome.status, outcome.error)
+            repeats = 0
+            for run in store.runs():
+                if run.run_key != key:
+                    continue
+                rec = run.results.get(outcome.name)
+                if (rec is not None
+                        and rec.get("status") in _FAILURE_STATUSES
+                        and failure_signature(rec.get("status", ""),
+                                              rec.get("error", "")) == sig):
+                    repeats += 1
+            if repeats < self.quarantine_after or \
+                    outcome.name in store.quarantined(key):
+                return
+            store.quarantine(key, outcome.name, signature=sig,
+                             status=outcome.status,
+                             error=(outcome.error or "").splitlines()[0],
+                             runs=repeats)
+        except (StoreWriteError, ValueError) as exc:
+            warnings.warn(f"quarantine bookkeeping failed for "
+                          f"{outcome.name!r}: {exc}")
+            return
+        self._emit("quarantined", outcome,
+                   detail=f"{repeats} identical {outcome.status} outcomes — "
+                          f"resumed runs will skip this circuit until "
+                          f"requarantine")
+
     def _backoff_delay(self, attempt: int) -> float:
-        return self.backoff * (2 ** (attempt - 1))
+        return jittered_backoff(self.backoff, attempt)
 
     # -- in-process execution ------------------------------------------------
 
@@ -764,13 +994,15 @@ class BatchRunner:
                     payload = dict(payload, attempt=payload["attempt"] + 1)
                     continue
                 break
-            self._emit("finished", outcome)
+            self._emit("oom" if outcome.status == "oom" else "finished",
+                       outcome)
             finalize(outcome)
 
     # -- supervised worker pool ----------------------------------------------
 
     def _spawn_worker(self) -> _PoolWorker:
-        return spawn_pool_worker(self.n_patterns, self.seed)
+        return spawn_pool_worker(self.n_patterns, self.seed,
+                                 self.memory_limit)
 
     def _replace_worker(self, workers: List[_PoolWorker], worker: _PoolWorker) -> None:
         kill_pool_worker(worker)
@@ -882,6 +1114,9 @@ class BatchRunner:
                     wake = ripe_at if wake is None else min(wake, ripe_at)
                 tick = (None if wake is None
                         else max(0.0, wake - time.monotonic()))
+                if self.memory_limit is not None:
+                    # wake often enough for the RSS poll to matter
+                    tick = _MEM_POLL if tick is None else min(tick, _MEM_POLL)
                 ready = _conn_wait([w.conn for w in busy], timeout=tick)
                 now = time.monotonic()
                 for conn in ready:
@@ -911,7 +1146,10 @@ class BatchRunner:
                     if outcome.status == "error":
                         retry_or("finished", outcome, payload, now)
                         continue
-                    self._emit("finished", outcome)
+                    # "oom" is deliberately NOT retried: a circuit over its
+                    # budget will be over it again — final, like timeout
+                    self._emit("oom" if outcome.status == "oom"
+                               else "finished", outcome)
                     finalize(outcome)
                 # hard per-circuit timeouts: kill, never join
                 if self.timeout is not None:
@@ -931,6 +1169,33 @@ class BatchRunner:
                             error=f"killed after exceeding the "
                                   f"{self.timeout}s circuit timeout")
                         self._emit("timeout", outcome)
+                        finalize(outcome)
+                # RSS poll: the supervisor-side backstop for workers the
+                # rlimit cannot protect (platforms without RLIMIT_AS, or
+                # growth in mappings the limit does not cover)
+                if self.memory_limit is not None:
+                    now = time.monotonic()
+                    for w in list(workers):
+                        if w.payload is None:
+                            continue
+                        rss = _rss_bytes(w.proc.pid)
+                        if rss is None or rss <= self.memory_limit:
+                            continue
+                        payload, elapsed = w.payload, now - w.started
+                        pid = w.proc.pid
+                        w.payload = None
+                        self._replace_worker(workers, w)
+                        outcome = CircuitOutcome(
+                            name=payload["name"], index=payload["index"],
+                            status="oom", seconds=elapsed,
+                            worker=pid or 0,
+                            attempts=payload.get("attempt", 1),
+                            error=f"killed: worker RSS {rss // (1024 * 1024)}"
+                                  f"MiB exceeded the "
+                                  f"{self.memory_limit // (1024 * 1024)}MiB "
+                                  f"memory budget")
+                        self._emit("oom", outcome,
+                                   detail="supervisor RSS poll")
                         finalize(outcome)
         finally:
             self._shutdown_workers(workers)

@@ -28,9 +28,11 @@ cost) and the wall-time speedup.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
+import re
 import subprocess
 import time
 import warnings
@@ -38,7 +40,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["ResultStore", "RunInfo", "Comparison", "git_revision", "run_key"]
+__all__ = ["ResultStore", "RunInfo", "Comparison", "StoreWriteError",
+           "git_revision", "run_key", "failure_signature"]
 
 _GIT_REV_CACHE: Dict[str, str] = {}
 
@@ -55,6 +58,34 @@ def git_revision(cwd: Optional[str] = None) -> str:
         except Exception:
             _GIT_REV_CACHE[key] = "unknown"
     return _GIT_REV_CACHE[key]
+
+
+class StoreWriteError(OSError):
+    """A store append that failed (ENOSPC, quota, I/O error) — and was
+    rolled back, so the file keeps a clean, resumable prefix.
+
+    Raised instead of the bare ``OSError`` so callers can distinguish "the
+    record was not written but the store is intact" from corruption: the
+    failed bytes were truncated away, every earlier record survives, and a
+    later resume re-runs exactly the circuits whose records were lost.
+    """
+
+
+_DIGIT_RUNS = re.compile(r"\d+")
+
+
+def failure_signature(status: str, error: str) -> str:
+    """A stable identity for one failure mode (12 hex chars).
+
+    The circuit breaker quarantines a circuit only when it keeps failing
+    *the same way*, so the signature must survive run-to-run noise: it
+    hashes the status plus the first line of the error with digit runs
+    normalized to ``#`` (pids, addresses, timings and attempt counters
+    change every run; the failure mode does not).
+    """
+    first_line = (error or "").splitlines()[0] if error else ""
+    normalized = _DIGIT_RUNS.sub("#", f"{status}|{first_line}")
+    return hashlib.sha256(normalized.encode()).hexdigest()[:12]
 
 
 def run_key(flow: str, suite: str, scale: str,
@@ -159,6 +190,25 @@ class Comparison:
         return f"{table}\n{verdict}"
 
 
+def _write_all(fd: int, data: bytes) -> None:
+    """Write ``data`` to ``fd`` completely, or raise.
+
+    ``os.write`` may legitimately write fewer bytes than asked (a disk
+    that fills mid-write does exactly this before ENOSPC would surface on
+    the *next* call) — loop until done, and treat a zero-byte write as
+    ENOSPC rather than spinning.  Module-level so chaos tests can
+    monkeypatch a failing disk under the store.
+    """
+    view = memoryview(data)
+    while view:
+        written = os.write(fd, view)
+        if written <= 0:
+            raise OSError(errno.ENOSPC,
+                          f"short write ({len(data) - len(view)}/{len(data)} "
+                          "bytes): no space left on device")
+        view = view[written:]
+
+
 class ResultStore:
     """Append-only JSONL store of batch runs (see the module docstring)."""
 
@@ -169,13 +219,34 @@ class ResultStore:
 
     def _append(self, lines: List[str]) -> None:
         """Durably append record lines: one write, flushed and fsynced, so
-        a crash immediately after a circuit completes cannot lose it."""
+        a crash immediately after a circuit completes cannot lose it.
+
+        Disk-safe: a short write or an ``OSError`` mid-append (ENOSPC,
+        quota, I/O error) is rolled back by truncating the file to its
+        pre-append length, then surfaced as :class:`StoreWriteError`.  The
+        *record* fails; the *file* keeps a clean resumable prefix.  (The
+        rollback assumes no concurrent appender raced into the torn tail —
+        concurrent runners only ever append whole lines, and a writer that
+        hit ENOSPC will find its cooperating peers hitting it too.)
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        data = "".join(line + "\n" for line in lines)
-        with self.path.open("a") as fh:
-            fh.write(data)
-            fh.flush()
-            os.fsync(fh.fileno())
+        data = "".join(line + "\n" for line in lines).encode()
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            offset = os.lseek(fd, 0, os.SEEK_END)
+            try:
+                _write_all(fd, data)
+                os.fsync(fd)
+            except OSError as exc:
+                try:
+                    os.ftruncate(fd, offset)
+                except OSError:
+                    pass                # rollback is best-effort
+                raise StoreWriteError(
+                    f"{self.path}: append failed ({exc}); rolled the file "
+                    f"back to a clean prefix at byte {offset}") from exc
+        finally:
+            os.close(fd)
 
     def open_run(self, *, flow: str, suite: str = "", scale: str = "",
                  jobs: int = 1, circuits: int = 0, run_key: str = "",
@@ -241,6 +312,20 @@ class ResultStore:
     def _new_run_id(self) -> str:
         return time.strftime("r%Y%m%d-%H%M%S") + "-" + os.urandom(3).hex()
 
+    def writable(self) -> bool:
+        """Whether an append would succeed right now.
+
+        The ``/readyz`` probe: opens (creating if needed), seeks and
+        fsyncs the store file without adding any bytes.  False means the
+        next record append would fail — a full disk, a read-only mount, a
+        path whose parent stopped being a directory.
+        """
+        try:
+            self._append([])
+            return True
+        except OSError:
+            return False
+
     # -- serve cache entries (content-addressed results) ---------------------
 
     def append_cache(self, record: dict) -> None:
@@ -290,6 +375,61 @@ class ResultStore:
             if ttl is not None and now - float(rec.get("time", 0.0)) > ttl:
                 continue
             out.setdefault(rec["circuit"], rec)
+        return out
+
+    # -- quarantine (circuit breaker) ----------------------------------------
+
+    def quarantine(self, run_key: str, circuit: str, *, signature: str,
+                   status: str = "", error: str = "", runs: int = 0) -> None:
+        """Record a circuit as quarantined under ``run_key``.
+
+        The circuit breaker's trip record: the runner appends one when a
+        circuit has failed identically (same :func:`failure_signature`)
+        across its threshold of runs.  Resumed and cooperative runs skip
+        quarantined circuits until :meth:`requarantine` clears them.
+        """
+        self._append([json.dumps({
+            "kind": "quarantine", "run_key": run_key, "circuit": circuit,
+            "signature": signature, "status": status, "error": error,
+            "runs": runs, "time": round(time.time(), 3),
+        })])
+
+    def requarantine(self, run_key: str,
+                     circuits: Optional[Sequence[str]] = None) -> None:
+        """Clear quarantine records under ``run_key`` (append, don't erase).
+
+        ``circuits=None`` clears every quarantined circuit; a list clears
+        only those named.  Appended as a ``requarantine`` line so the
+        breaker's history stays auditable — a circuit that trips again
+        after being cleared is simply quarantined again by a later line.
+        """
+        rec = {"kind": "requarantine", "run_key": run_key,
+               "time": round(time.time(), 3)}
+        if circuits is not None:
+            rec["circuits"] = sorted(circuits)
+        self._append([json.dumps(rec)])
+
+    def quarantined(self, run_key: str) -> Dict[str, dict]:
+        """Circuit → its live quarantine record under ``run_key``.
+
+        Replays quarantine/requarantine lines in file order, so the
+        latest action per circuit wins.  Circuits cleared by a
+        ``requarantine`` line do not appear.
+        """
+        out: Dict[str, dict] = {}
+        for rec in self._records():
+            kind = rec.get("kind")
+            if rec.get("run_key") != run_key:
+                continue
+            if kind == "quarantine":
+                out[rec["circuit"]] = rec
+            elif kind == "requarantine":
+                cleared = rec.get("circuits")
+                if cleared is None:
+                    out.clear()
+                else:
+                    for circuit in cleared:
+                        out.pop(circuit, None)
         return out
 
     # -- reading -------------------------------------------------------------

@@ -177,6 +177,8 @@ def cmd_batch(args) -> int:
         raise SystemExit("batch: --compare-to needs --store")
     if (args.resume or args.cooperate) and not args.store:
         raise SystemExit("batch: --resume/--cooperate need --store")
+    if args.requarantine and not args.store:
+        raise SystemExit("batch: --requarantine needs --store")
     try:
         suite = get_suite(args.suite)
         flow = resolve_flow(args.script or args.flow)
@@ -192,21 +194,28 @@ def cmd_batch(args) -> int:
     from .batch import event_sink
 
     events = event_sink(args.events)
-    runner = BatchRunner(jobs=args.jobs, verify=args.verify,
-                         progress=progress if not args.quiet else None,
-                         return_networks=False, transfer=args.transfer,
-                         timeout=args.timeout, retries=args.retries,
-                         order=args.order, events=events)
+    try:
+        runner = BatchRunner(jobs=args.jobs, verify=args.verify,
+                             progress=progress if not args.quiet else None,
+                             return_networks=False, transfer=args.transfer,
+                             timeout=args.timeout, retries=args.retries,
+                             order=args.order, events=events,
+                             memory_limit=args.memory_limit)
+    except ValueError as exc:
+        raise SystemExit(f"batch: {exc}")
     store = ResultStore(args.store) if args.store else None
     try:
         batch = runner.run(suite, flow, scale=args.scale, store=store,
-                           resume=args.resume, cooperate=args.cooperate)
+                           resume=args.resume, cooperate=args.cooperate,
+                           requarantine=args.requarantine)
     finally:
         if events is not None:
             events.close()
     print(batch.table())
     if batch.run_id:
         print(f"recorded run {batch.run_id} -> {store.path}")
+    for outcome in batch.quarantined:
+        print(f"\nQUARANTINED {outcome.name}: {outcome.error}")
     for outcome in batch.failures:
         print(f"\nFAILED {outcome.name}: {outcome.error}")
         if outcome.traceback:
@@ -229,10 +238,15 @@ def cmd_serve(args) -> int:
     from .batch import event_sink
     from .serve import ServeDaemon
 
-    daemon = ServeDaemon(args.host, args.port, jobs=args.jobs,
-                         store=args.store, timeout=args.timeout,
-                         idle_timeout=args.idle_timeout,
-                         events=event_sink(args.events))
+    try:
+        daemon = ServeDaemon(args.host, args.port, jobs=args.jobs,
+                             store=args.store, timeout=args.timeout,
+                             idle_timeout=args.idle_timeout,
+                             events=event_sink(args.events),
+                             max_queued=args.max_queued,
+                             memory_limit=args.memory_limit)
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
     daemon.start()
     # the first line is machine-readable: smoke scripts parse the port
     print(f"serving on http://{daemon.host}:{daemon.port} "
@@ -429,10 +443,18 @@ def make_parser() -> argparse.ArgumentParser:
                         "worker past it is killed (pool runs only)")
     p.add_argument("--retries", type=int, default=0,
                    help="extra attempts for circuits that error or crash "
-                        "(exponential backoff between attempts)")
+                        "(jittered exponential backoff between attempts; "
+                        "timeouts and ooms are final)")
+    p.add_argument("--memory-limit", default=None,
+                   help="per-worker address-space budget, e.g. 512M or 2G; "
+                        "a worker past it ends that circuit 'oom' (pool "
+                        "runs only)")
     p.add_argument("--resume", action="store_true",
                    help="skip circuits already ok in --store under the same "
                         "run key (flow + suite + scale + inputs)")
+    p.add_argument("--requarantine", action="store_true",
+                   help="clear the run key's quarantine list in --store and "
+                        "retry circuits the circuit breaker had benched")
     p.add_argument("--cooperate", action="store_true",
                    help="claim circuits through --store so concurrent "
                         "runners share the suite without duplicated work")
@@ -458,6 +480,13 @@ def make_parser() -> argparse.ArgumentParser:
                         "(a restarted daemon starts warm from it)")
     p.add_argument("--timeout", type=float, default=None,
                    help="default hard per-job wall-clock limit in seconds")
+    p.add_argument("--memory-limit", default=None,
+                   help="per-worker address-space budget, e.g. 512M or 2G; "
+                        "a job past it ends 'oom'")
+    p.add_argument("--max-queued", type=int, default=None,
+                   help="admission control: shed new submissions with 429 + "
+                        "Retry-After once this many jobs are queued "
+                        "(cache hits and duplicates always served)")
     p.add_argument("--idle-timeout", type=float, default=None,
                    help="scale the pool to zero workers after this many "
                         "idle seconds (respawned on the next job)")

@@ -6,7 +6,9 @@ is paid once, not per invocation:
 
 * :mod:`~repro.serve.daemon` — :class:`ServeDaemon`: the asyncio HTTP job
   API (``POST /jobs``, ``GET /jobs/{id}``, ``GET /jobs/{id}/events``,
-  ``GET /stats``, ``POST /shutdown``);
+  ``GET /stats``, ``GET /healthz``, ``GET /readyz``, ``POST /shutdown``),
+  with admission control (``--max-queued`` → 429 + ``Retry-After``) and
+  per-worker memory budgets (``--memory-limit``);
 * :mod:`~repro.serve.pool` — :class:`ServePool`: a persistent supervised
   worker pool (the PR 7 kill-never-join machinery, kept warm across
   requests, scaled to zero after ``--idle-timeout``);

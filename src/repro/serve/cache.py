@@ -24,10 +24,11 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-from ..batch.store import ResultStore
+from ..batch.store import ResultStore, StoreWriteError
 
 __all__ = ["cache_key", "ResultCache"]
 
@@ -95,16 +96,24 @@ class ResultCache:
 
         ``fingerprint``/``flow`` ride along in the JSONL line so the store
         stays self-describing (a human can grep what a key meant).
+
+        A failed persist (full disk) only warns: the entry still serves
+        from memory, the store keeps its clean prefix, and ``/readyz``
+        reports the store unwritable — the daemon degrades, not dies.
         """
         with self._lock:
             self._mem[key] = record
         if self.store is not None:
-            self.store.append_cache({
-                "cache_key": key,
-                "input": fingerprint,
-                "flow": flow,
-                "record": record,
-            })
+            try:
+                self.store.append_cache({
+                    "cache_key": key,
+                    "input": fingerprint,
+                    "flow": flow,
+                    "record": record,
+                })
+            except StoreWriteError as exc:
+                warnings.warn(f"result cache: persisting {key} failed "
+                              f"({exc}); entry kept in memory only")
 
     def stats(self) -> dict:
         """Hit/miss counters plus the entry count."""

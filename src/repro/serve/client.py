@@ -29,13 +29,16 @@ __all__ = ["ServeClient", "ServeError"]
 class ServeError(Exception):
     """A request the daemon rejected, a failed job, or an unreachable
     daemon — the message carries the daemon's error text when there is
-    one."""
+    one.  ``retry_after`` holds the daemon's ``Retry-After`` header (in
+    seconds) when the rejection was a 429 shed."""
 
     def __init__(self, message: str, status: int = 0,
-                 payload: Optional[dict] = None):
+                 payload: Optional[dict] = None,
+                 retry_after: Optional[float] = None):
         super().__init__(message)
         self.status = status
         self.payload = payload or {}
+        self.retry_after = retry_after
 
 
 class ServeClient:
@@ -44,13 +47,28 @@ class ServeClient:
     ``host``/``port`` name the daemon; ``timeout`` bounds every socket
     operation (long-polls add their wait on top).  Safe to use from one
     thread at a time; give each thread its own client.
+
+    A saturated daemon sheds submissions with ``429`` + ``Retry-After``;
+    :meth:`submit` honors that for up to ``retries`` re-submissions,
+    sleeping at least the advertised ``Retry-After`` with bounded
+    jittered exponential backoff on top (the same
+    :func:`~repro.batch.runner.jittered_backoff` the batch runner uses,
+    so a burst of shed clients does not re-arrive in lockstep).
+    ``retries=0`` surfaces the 429 immediately.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787, *,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, retries: int = 4,
+                 backoff: float = 0.5):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0:
+            raise ValueError(f"backoff must be positive, got {backoff}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- transport -----------------------------------------------------------
@@ -81,9 +99,17 @@ class ServeClient:
             except json.JSONDecodeError:
                 data = {}
             message = data.get("error") or raw.decode(errors="replace")
+            retry_after = None
+            header = resp.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    pass                      # HTTP-date form: ignore
             raise ServeError(f"{method} {path} -> {resp.status}: {message}",
                              status=resp.status,
-                             payload=data if isinstance(data, dict) else {})
+                             payload=data if isinstance(data, dict) else {},
+                             retry_after=retry_after)
         return resp.status, raw
 
     def _request(self, method: str, path: str,
@@ -130,6 +156,22 @@ class ServeClient:
         health."""
         return self._request("GET", "/stats")
 
+    def healthz(self) -> dict:
+        """``GET /healthz`` — liveness: 200 while the daemon's event loop
+        answers at all."""
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        """``GET /readyz`` — readiness: the per-check payload, with
+        ``ready`` False (rather than an exception) when the daemon
+        answered 503-not-ready."""
+        try:
+            return self._request("GET", "/readyz")
+        except ServeError as exc:
+            if exc.status == 503 and "ready" in exc.payload:
+                return exc.payload
+            raise
+
     def submit(self, circuit: str = "", *, flow: str, scale: str = "small",
                aag: str = "", builder: str = "", params: Optional[dict] = None,
                name: str = "", verify: bool = False,
@@ -161,7 +203,19 @@ class ServeClient:
             body["timeout"] = timeout
         if faults:
             body["faults"] = faults
-        return self._request("POST", "/jobs", body)
+        attempt = 0
+        while True:
+            try:
+                return self._request("POST", "/jobs", body)
+            except ServeError as exc:
+                if exc.status != 429 or attempt >= self.retries:
+                    raise
+                attempt += 1
+                from ..batch.runner import jittered_backoff
+
+                delay = max(exc.retry_after or 0.0,
+                            jittered_backoff(self.backoff, attempt, cap=30.0))
+                time.sleep(delay)
 
     def status(self, job_id: str, *, wait: Optional[float] = None) -> dict:
         """``GET /jobs/{id}`` — the job's current state; ``wait`` long-polls
@@ -184,7 +238,8 @@ class ServeClient:
                                  f"{job.get('status')!r} after {timeout:g}s",
                                  payload=job)
             job = self.status(job_id, wait=min(remaining, 30.0))
-            if job.get("status") in ("done", "error", "timeout", "crashed"):
+            if job.get("status") in ("done", "error", "timeout", "crashed",
+                                     "oom"):
                 return job
 
     def result(self, job_id: str, timeout: float = 300.0) -> dict:

@@ -22,6 +22,16 @@ Every route (the :data:`ROUTES` table) returns JSON; job progress is the
 PR 7 :class:`~repro.batch.events.RunEvent` stream, readable per job as
 NDJSON.  ``POST /shutdown`` drains in-flight jobs, stops accepting new
 ones, flushes the store and exits cleanly.
+
+Resource governance: ``max_queued`` bounds the pool backlog — a saturated
+daemon sheds new computations with ``429`` + a ``Retry-After`` header
+(cache hits and coalesced duplicates are still always served: they cost no
+worker).  ``memory_limit`` caps each pool worker's memory (``oom``
+outcomes, see :mod:`repro.serve.pool`).  ``GET /healthz`` answers 200 as
+long as the event loop is alive (liveness); ``GET /readyz`` checks
+acceptance, pool supervisor, queue headroom and store writability, and
+answers 503 with the failing checks when the daemon should not receive
+new traffic (readiness).
 """
 
 from __future__ import annotations
@@ -45,6 +55,8 @@ __all__ = ["ServeDaemon", "ROUTES", "TERMINAL_STATUSES"]
 ROUTES = (
     "GET /",
     "GET /stats",
+    "GET /healthz",
+    "GET /readyz",
     "POST /jobs",
     "GET /jobs",
     "GET /jobs/{id}",
@@ -53,7 +65,7 @@ ROUTES = (
 )
 
 #: job statuses that mean the job will never change again
-TERMINAL_STATUSES = ("done", "error", "timeout", "crashed")
+TERMINAL_STATUSES = ("done", "error", "timeout", "crashed", "oom")
 
 #: the longest a ``?wait=`` long-poll may hold a connection open
 MAX_WAIT = 60.0
@@ -123,6 +135,13 @@ class ServeDaemon:
     events.  ``port=0`` binds an ephemeral port, readable from
     :attr:`port` after :meth:`start`.
 
+    ``max_queued`` is the admission-control bound: a submission that
+    would need a worker while that many jobs are already queued is shed
+    with ``429`` and ``Retry-After: retry_after`` (cache hits and
+    coalesced duplicates are exempt — they cost no worker).
+    ``memory_limit`` (bytes or ``"512M"``) caps each worker's memory;
+    over-budget jobs resolve as ``oom``.
+
     Use as a context manager, or ``start()``/``stop()`` explicitly::
 
         with ServeDaemon(port=0, jobs=2, store="serve.jsonl") as daemon:
@@ -133,13 +152,21 @@ class ServeDaemon:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  jobs: int = 2, store=None, timeout: Optional[float] = None,
                  idle_timeout: Optional[float] = None, n_patterns: int = 256,
-                 seed: int = 1, events=None):
+                 seed: int = 1, events=None, max_queued: Optional[int] = None,
+                 memory_limit=None, retry_after: float = 2.0):
+        if max_queued is not None and max_queued < 0:
+            raise ValueError(f"max_queued must be >= 0, got {max_queued}")
+        if retry_after <= 0:
+            raise ValueError(f"retry_after must be positive, got {retry_after}")
         self.host = host
         self.port = port
         self.cache = ResultCache(store)
         self.pool = ServePool(jobs, n_patterns=n_patterns, seed=seed,
                               timeout=timeout, idle_timeout=idle_timeout,
-                              events=events)
+                              events=events, memory_limit=memory_limit)
+        self.max_queued = max_queued
+        self.retry_after = retry_after
+        self.shed = 0                        # submissions rejected with 429
         self.draining = False
         self.started_at = time.time()
         self._jobs: Dict[str, _Job] = {}
@@ -237,6 +264,15 @@ class ServeDaemon:
         elif path == "/stats":
             if method == "GET":
                 return Response(200, self.stats())
+        elif path == "/healthz":
+            if method == "GET":
+                return Response(200, {"ok": True,
+                                      "uptime": round(time.time()
+                                                      - self.started_at, 3)})
+        elif path == "/readyz":
+            if method == "GET":
+                ready = self.readiness()
+                return Response(200 if ready["ready"] else 503, ready)
         elif path == "/jobs":
             if method == "POST":
                 return await self._submit(request)
@@ -285,7 +321,33 @@ class ServeDaemon:
             "cache": self.cache.stats(),
             "jobs": {"total": len(self._jobs), **counts},
             "queue_depth": pool["queue_depth"],
+            "max_queued": self.max_queued,
+            "shed": self.shed,
             "pool": pool,
+        }
+
+    def readiness(self) -> dict:
+        """The ``GET /readyz`` payload: per-check booleans + the verdict.
+
+        Ready means: not draining, the pool supervisor is alive, the
+        queue has headroom under ``max_queued``, and (when a store is
+        configured) an append would succeed.  An external supervisor
+        routes traffic away — or restarts the daemon — on 503.
+        """
+        pool = self.pool.stats()
+        checks = {
+            "accepting": not self.draining,
+            "pool_supervisor": self.pool.alive,
+            "queue_headroom": (self.max_queued is None
+                               or pool["queue_depth"] < self.max_queued),
+        }
+        if self.cache.store is not None:
+            checks["store_writable"] = self.cache.store.writable()
+        return {
+            "ready": all(checks.values()),
+            "checks": checks,
+            "queue_depth": pool["queue_depth"],
+            "max_queued": self.max_queued,
         }
 
     def _list_jobs(self) -> Response:
@@ -336,6 +398,20 @@ class ServeDaemon:
             self._event(job, kind="skipped", detail=f"cache hit {key}")
             self._resolve(job, status="done", record=record, cached=True)
             return Response(200, job.to_dict())
+
+        # admission control — only computations that need a worker are
+        # shed; the cache-hit and coalescing paths above always serve
+        if self.max_queued is not None:
+            depth = self.pool.stats()["queue_depth"]
+            if depth >= self.max_queued:
+                del self._jobs[job.id]
+                self.shed += 1
+                raise HttpError(
+                    429,
+                    f"saturated: {depth} job(s) queued >= max_queued "
+                    f"{self.max_queued}; retry after "
+                    f"{self.retry_after:g}s",
+                    headers={"Retry-After": f"{self.retry_after:g}"})
 
         self._by_key[key] = job
         payload = {

@@ -38,19 +38,23 @@ MAX_BODY = 64 * 1024 * 1024
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
-    413: "Payload Too Large", 500: "Internal Server Error",
-    503: "Service Unavailable",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
 class HttpError(Exception):
     """An error with a designated HTTP status — handlers raise these to
-    produce clean JSON error responses (anything else becomes a 500)."""
+    produce clean JSON error responses (anything else becomes a 500).
+    ``headers`` ride along onto the response (the admission controller
+    uses this for ``Retry-After`` on 429s)."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
 
 
 @dataclass
@@ -88,11 +92,14 @@ class Response:
 
     ``data`` may be a dict/list (sent as ``application/json``) or a
     ``str`` (sent as ``text/plain`` — the NDJSON event stream uses this).
+    ``headers`` adds extra response headers (e.g. ``Retry-After``) on top
+    of the framing ones.
     """
 
     status: int = 200
     data: object = None
     content_type: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
 
     def encode(self) -> Tuple[bytes, str]:
         if isinstance(self.data, str):
@@ -143,10 +150,13 @@ async def write_response(writer: asyncio.StreamWriter, response: Response,
     """Serialize one response (with framing headers) onto ``writer``."""
     body, ctype = response.encode()
     reason = _REASONS.get(response.status, "Unknown")
+    extra = "".join(f"{name}: {value}\r\n"
+                    for name, value in response.headers.items())
     head = (f"HTTP/1.1 {response.status} {reason}\r\n"
             f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extra}"
             f"\r\n")
     writer.write(head.encode() + body)
     await writer.drain()
@@ -177,7 +187,8 @@ async def serve_connection(reader: asyncio.StreamReader,
             try:
                 response = await handler(request)
             except HttpError as exc:
-                response = Response(exc.status, {"error": exc.message})
+                response = Response(exc.status, {"error": exc.message},
+                                    headers=exc.headers)
             except Exception as exc:
                 response = Response(500, {
                     "error": f"{type(exc).__name__}: {exc}",

@@ -21,6 +21,9 @@ Life cycle guarantees:
   on demand;
 * a worker dying mid-job (crash, OOM-kill) costs exactly that job a
   ``crashed`` outcome — queued jobs are unaffected;
+* with a ``memory_limit``, workers run under ``RLIMIT_AS`` and the
+  supervisor RSS-polls them — a job over budget becomes exactly one
+  ``oom`` outcome (a MemoryError in the worker, or a kill from the poll);
 * after ``idle_timeout`` seconds with nothing queued or running, every
   worker is reaped (``scale-to-zero``); the next submission respawns;
 * completion/progress callbacks are invoked on the supervisor thread and
@@ -42,7 +45,10 @@ from ..batch.events import RunEvent
 from ..batch.runner import (
     CircuitOutcome,
     _PoolWorker,
+    _rss_bytes,
+    _MEM_POLL,
     kill_pool_worker,
+    parse_memory_limit,
     spawn_pool_worker,
 )
 
@@ -76,7 +82,8 @@ class ServePool:
     def __init__(self, jobs: int = 2, *, n_patterns: int = 256, seed: int = 1,
                  timeout: Optional[float] = None,
                  idle_timeout: Optional[float] = None,
-                 events: Optional[Callable] = None):
+                 events: Optional[Callable] = None,
+                 memory_limit=None):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if timeout is not None and timeout <= 0:
@@ -89,6 +96,7 @@ class ServePool:
         self.timeout = timeout
         self.idle_timeout = idle_timeout
         self.events = events
+        self.memory_limit = parse_memory_limit(memory_limit)
         self._queue: Deque[_Job] = deque()
         self._workers: List[_PoolWorker] = []   # supervisor thread only
         self._lock = threading.Lock()
@@ -98,7 +106,7 @@ class ServePool:
         self._idle_since = time.monotonic()
         self._stats: Dict[str, int] = {
             "dispatched": 0, "completed": 0, "failed": 0, "crashed": 0,
-            "timeouts": 0, "spawned": 0, "reaped": 0,
+            "timeouts": 0, "ooms": 0, "spawned": 0, "reaped": 0,
         }
         self._wake_r, self._wake_w = os.pipe()
         os.set_blocking(self._wake_w, False)
@@ -139,6 +147,12 @@ class ServePool:
             out["queue_depth"] = len(self._queue)
             out["max_workers"] = self.max_workers
         return out
+
+    @property
+    def alive(self) -> bool:
+        """Whether the supervisor thread is up and accepting work — the
+        ``/readyz`` pool check."""
+        return self._thread.is_alive() and not self._stop
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until the queue is empty and no job is in flight (or
@@ -197,6 +211,8 @@ class ServePool:
             self._stats["completed"] += 1
             if outcome.status != "ok":
                 self._stats["failed"] += 1
+            if outcome.status == "oom":
+                self._stats["ooms"] += 1
         self._emit(job, kind, outcome=outcome)
         if job.on_done is not None:
             try:
@@ -223,7 +239,8 @@ class ServePool:
             if idle:
                 worker = idle[0]
             else:
-                worker = spawn_pool_worker(self.n_patterns, self.seed)
+                worker = spawn_pool_worker(self.n_patterns, self.seed,
+                                           self.memory_limit)
                 with self._lock:
                     self._workers.append(worker)
                     self._stats["spawned"] += 1
@@ -267,7 +284,41 @@ class ServePool:
                 self._finish(job, outcome, "crashed")
                 continue
             worker.payload = None
-            self._finish(job, outcome, "finished")
+            self._finish(job, outcome,
+                         "oom" if outcome.status == "oom" else "finished")
+
+    def _check_memory(self) -> None:
+        """SIGKILL workers whose RSS exceeds the memory budget.
+
+        The supervisor-side backstop behind the in-worker ``RLIMIT_AS``
+        (see :class:`~repro.batch.runner.BatchRunner`): a worker the
+        rlimit cannot protect is killed here and its job becomes an
+        ``oom`` outcome — queued jobs are unaffected.
+        """
+        if self.memory_limit is None:
+            return
+        now = time.monotonic()
+        with self._lock:
+            candidates = [w for w in self._workers if w.payload is not None]
+        for worker in candidates:
+            rss = _rss_bytes(worker.proc.pid)
+            if rss is None or rss <= self.memory_limit:
+                continue
+            job: _Job = worker.payload
+            if job is None:              # finished while we were polling
+                continue
+            elapsed = now - worker.started
+            pid = worker.proc.pid
+            worker.payload = None
+            self._drop_worker(worker)
+            outcome = CircuitOutcome(
+                name=job.payload["name"], index=job.payload["index"],
+                status="oom", seconds=elapsed, worker=pid or 0,
+                error=f"killed: worker RSS {rss // (1024 * 1024)}MiB "
+                      f"exceeded the "
+                      f"{self.memory_limit // (1024 * 1024)}MiB memory "
+                      f"budget")
+            self._finish(job, outcome, "oom")
 
     def _expire(self) -> None:
         """SIGKILL workers whose job exceeded its hard timeout."""
@@ -330,6 +381,9 @@ class ServePool:
             tick = None
             if deadlines:
                 tick = max(0.0, min(deadlines) - time.monotonic())
+            if self.memory_limit is not None and busy:
+                # wake often enough for the RSS poll to matter
+                tick = _MEM_POLL if tick is None else min(tick, _MEM_POLL)
             ready = _conn_wait([w.conn for w in busy] + [self._wake_r],
                                timeout=tick)
             if self._wake_r in ready:
@@ -340,6 +394,7 @@ class ServePool:
                 ready = [r for r in ready if r is not self._wake_r]
             self._collect(ready)
             self._expire()
+            self._check_memory()
             self._reap_idle()
         # orderly stop: kill whatever is left (drain happened in shutdown)
         with self._lock:

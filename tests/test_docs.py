@@ -23,8 +23,14 @@ def _load_checker():
 
 def test_docs_tree_exists():
     for page in ("index.md", "architecture.md", "flow-dsl.md", "sequential.md",
-                 "batch.md", "serve.md"):
+                 "batch.md", "serve.md", "robustness.md"):
         assert (DOCS / page).exists(), f"docs/{page} missing"
+
+
+def test_nav_lists_every_docs_page():
+    nav = (ROOT / "mkdocs.yml").read_text()
+    for page in sorted(DOCS.glob("*.md")):
+        assert page.name in nav, f"docs/{page.name} missing from mkdocs nav"
 
 
 def test_no_broken_links():
@@ -91,3 +97,55 @@ def test_serve_docs_define_the_cache_key():
     text = (DOCS / "serve.md").read_text()
     for needle in ("cache key", "fingerprint", "canonical"):
         assert needle in text.lower()
+
+
+def test_robustness_matrix_covers_every_status_and_mechanism():
+    """docs/robustness.md is the unified failure-mode reference — every
+    terminal status and governance mechanism must appear in it."""
+    text = (DOCS / "robustness.md").read_text()
+    for needle in ("`ok`", "`error`", "`crashed`", "`timeout`", "`oom`",
+                   "`quarantined`", "429", "Retry-After",
+                   "`GET /healthz`", "`GET /readyz`", "`StoreWriteError`",
+                   "`sink_disabled`"):
+        assert needle in text, f"robustness.md does not mention {needle}"
+
+
+def test_robustness_docs_cover_every_fault_mode():
+    from repro.batch.faults import FAULT_MODES
+
+    text = (DOCS / "robustness.md").read_text()
+    for mode in FAULT_MODES:
+        assert f"`{mode}`" in text, f"fault mode {mode} undocumented"
+
+
+def test_robustness_docs_cover_every_event_kind():
+    from repro.batch.events import EVENT_KINDS
+
+    text = (DOCS / "robustness.md").read_text()
+    for kind in EVENT_KINDS:
+        assert f"`{kind}`" in text, f"event kind {kind} undocumented"
+
+
+def test_robustness_docs_knob_table_matches_the_cli():
+    """Every governance knob in the CLI knob table actually exists on the
+    subcommand the table claims — registry-honest docs."""
+    from repro.cli import make_parser
+
+    sub = next(a for a in make_parser()._actions
+               if hasattr(a, "choices") and a.choices)
+    options = {name: {opt for action in parser._actions
+                      for opt in action.option_strings}
+               for name, parser in sub.choices.items()}
+    text = (DOCS / "robustness.md").read_text()
+    for knob, commands in [("--memory-limit", ("batch", "serve")),
+                           ("--max-queued", ("serve",)),
+                           ("--requarantine", ("batch",)),
+                           ("--retries", ("batch",)),
+                           ("--timeout", ("batch", "serve")),
+                           ("--resume", ("batch",)),
+                           ("--events", ("batch", "serve"))]:
+        assert f"`{knob}`" in text, f"knob {knob} missing from the table"
+        for command in commands:
+            assert knob in options[command], (
+                f"robustness.md documents {knob} on '{command}' but the "
+                f"CLI does not define it there")
